@@ -1,0 +1,127 @@
+// Command fdlab explores the failure detector reductions of the paper:
+//
+//	fdlab extract   — Figure 3: extract Υ^f from a stable detector
+//	fdlab falsify   — Theorems 1/5: the adversary against Ω^f extractors
+//
+// Examples:
+//
+//	fdlab extract -n 5 -from omega -stabilize 200 -crash 2:500
+//	fdlab extract -n 5 -from omegaF -f 2 -seed 3
+//	fdlab falsify -n 5 -f 4 -candidate staleness -switches 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"weakestfd"
+	"weakestfd/internal/cli"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fdlab: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "extract":
+		runExtract(os.Args[2:])
+	case "falsify":
+		runFalsify(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: fdlab <extract|falsify> [flags]")
+	os.Exit(2)
+}
+
+func runExtract(args []string) {
+	fs := flag.NewFlagSet("extract", flag.ExitOnError)
+	var (
+		n         = fs.Int("n", 4, "number of processes")
+		f         = fs.Int("f", 0, "resilience (0 = wait-free)")
+		from      = fs.String("from", "omega", "source detector: omega|omegan|omegaF|evp")
+		stabilize = fs.Int64("stabilize", 100, "source stabilization step")
+		crash     = fs.String("crash", "", "crash times pid:step[,...]")
+		seed      = fs.Int64("seed", 1, "seed")
+		slack     = fs.Int("slack", 0, "batch slack w(σ) for omega")
+		budget    = fs.Int64("budget", 0, "step budget")
+	)
+	_ = fs.Parse(args)
+
+	det, ok := map[string]weakestfd.Detector{
+		"omega":  weakestfd.Omega,
+		"omegan": weakestfd.OmegaN,
+		"omegaF": weakestfd.OmegaF,
+		"evp":    weakestfd.StableEvPerfect,
+	}[*from]
+	if !ok {
+		log.Fatalf("unknown -from %q", *from)
+	}
+	crashAt, err := cli.ParseCrashes(*crash)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := weakestfd.ExtractUpsilon(weakestfd.ExtractConfig{
+		N: *n, F: *f,
+		From:        det,
+		StabilizeAt: *stabilize,
+		CrashAt:     crashAt,
+		Seed:        *seed,
+		BatchSlack:  *slack,
+		Budget:      *budget,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("extracted Υ^f output (Figure 3, from %s):\n", *from)
+	fmt.Printf("  stable set:   %v (0-based pids)\n", res.Stable)
+	fmt.Printf("  stable from:  step %d (of %d)\n", res.StableFrom, res.Steps)
+	fmt.Printf("  legal:        %v\n", res.LegalErr == nil)
+}
+
+func runFalsify(args []string) {
+	fs := flag.NewFlagSet("falsify", flag.ExitOnError)
+	var (
+		n        = fs.Int("n", 4, "number of processes (≥ 3)")
+		f        = fs.Int("f", 3, "target Ω^f size (2..n-1)")
+		cand     = fs.String("candidate", "staleness", "complement|staleness|hybrid")
+		switches = fs.Int("switches", 20, "target forced switches")
+		budget   = fs.Int64("budget", 0, "step budget")
+	)
+	_ = fs.Parse(args)
+
+	res, err := weakestfd.Falsify(weakestfd.FalsifyConfig{
+		N: *n, F: *f,
+		Candidate:      *cand,
+		TargetSwitches: *switches,
+		Budget:         *budget,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("adversary vs %q (Theorem %s):\n", *cand, theoremName(*n, *f))
+	fmt.Printf("  forced switches: %d\n", res.Switches)
+	fmt.Printf("  stuck:           %v\n", res.Stuck)
+	if res.ViolationErr != nil {
+		fmt.Printf("  violation:       %v\n", res.ViolationErr)
+	}
+	fmt.Printf("  steps:           %d\n", res.Steps)
+	fmt.Printf("  falsified:       %v\n", res.Falsified)
+	if !res.Falsified {
+		os.Exit(1)
+	}
+}
+
+func theoremName(n, f int) string {
+	if f == n-1 {
+		return "1"
+	}
+	return "5"
+}

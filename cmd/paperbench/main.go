@@ -1,0 +1,158 @@
+// Command paperbench regenerates every experiment table of the
+// reproduction, one per figure/theorem of the paper (see DESIGN.md's
+// per-experiment index and EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	paperbench            # run all experiments, print tables
+//	paperbench -run E4    # run one experiment
+//	paperbench -seeds 10  # more seeds per configuration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+)
+
+type experiment struct {
+	id    string
+	title string
+	run   func(w *tableWriter, seeds int)
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"E1", "Figure 1 / Theorem 2 — n-set agreement from Υ and registers", runE1},
+		{"E2", "Figure 2 / Theorem 6 — f-resilient f-set agreement from Υ^f", runE2},
+		{"E3", "Figure 3 / Theorem 10 — extracting Υ^f from stable detectors", runE3},
+		{"E4", "Theorem 1 — Υ cannot be transformed into Ωn", runE4},
+		{"E5", "Theorem 5 — Υ^f cannot be transformed into Ω^f", runE5},
+		{"E6", "Section 4 — Υ and Ω are equivalent for 2 processes", runE6},
+		{"E7", "Section 5.3 — extracting Ω from Υ¹ in E_1", runE7},
+		{"E8", "Corollaries 3/4 — Υ strictly below Ωn, yet solves set agreement", runE8},
+		{"E9", "Impossibility baseline — no failure information ⇒ no termination", runE9},
+		{"E10", "Ablations — snapshots, stabilization time, converge cost", runE10},
+		{"E11", "Section 1 — implementing Υ from timing assumptions", runE11},
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("paperbench: ")
+	var (
+		runFilter = flag.String("run", "", "run only the experiment with this id (e.g. E3)")
+		seeds     = flag.Int("seeds", 5, "seeds per configuration")
+	)
+	flag.Parse()
+
+	any := false
+	for _, e := range experiments() {
+		if *runFilter != "" && !strings.EqualFold(*runFilter, e.id) {
+			continue
+		}
+		any = true
+		fmt.Printf("## %s: %s\n\n", e.id, e.title)
+		w := newTableWriter(os.Stdout)
+		e.run(w, *seeds)
+		w.flush()
+		fmt.Println()
+	}
+	if !any {
+		log.Fatalf("no experiment matches -run %q", *runFilter)
+	}
+}
+
+// tableWriter accumulates rows and prints an aligned text table.
+type tableWriter struct {
+	out    *os.File
+	header []string
+	rows   [][]string
+	notes  []string
+}
+
+func newTableWriter(out *os.File) *tableWriter { return &tableWriter{out: out} }
+
+func (w *tableWriter) setHeader(cols ...string) { w.header = cols }
+
+func (w *tableWriter) addRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	w.rows = append(w.rows, row)
+}
+
+func (w *tableWriter) note(format string, args ...any) {
+	w.notes = append(w.notes, fmt.Sprintf(format, args...))
+}
+
+func (w *tableWriter) flush() {
+	if len(w.header) > 0 {
+		widths := make([]int, len(w.header))
+		for i, h := range w.header {
+			widths[i] = len(h)
+		}
+		for _, row := range w.rows {
+			for i, c := range row {
+				if i < len(widths) && len(c) > widths[i] {
+					widths[i] = len(c)
+				}
+			}
+		}
+		line := func(cells []string) {
+			parts := make([]string, len(cells))
+			for i, c := range cells {
+				parts[i] = pad(c, widths[i])
+			}
+			fmt.Fprintln(w.out, "  "+strings.Join(parts, "  "))
+		}
+		line(w.header)
+		dashes := make([]string, len(w.header))
+		for i := range dashes {
+			dashes[i] = strings.Repeat("-", widths[i])
+		}
+		line(dashes)
+		for _, row := range w.rows {
+			line(row)
+		}
+	}
+	for _, n := range w.notes {
+		fmt.Fprintln(w.out, "  * "+n)
+	}
+	w.header, w.rows, w.notes = nil, nil, nil
+}
+
+func pad(s string, n int) string {
+	if len(s) >= n {
+		return s
+	}
+	return s + strings.Repeat(" ", n-len(s))
+}
+
+// stats summarizes a sample of measurements.
+type stats struct{ vals []int64 }
+
+func (s *stats) add(v int64) { s.vals = append(s.vals, v) }
+
+func (s *stats) median() int64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	vs := append([]int64(nil), s.vals...)
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return vs[len(vs)/2]
+}
+
+func (s *stats) max() int64 {
+	var m int64
+	for _, v := range s.vals {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,118 @@
+// Command setagree runs one set-agreement instance on the simulated
+// asynchronous shared-memory system and prints the outcome.
+//
+// Usage:
+//
+//	setagree [flags]
+//
+//	-n 5                processes (n+1 in the paper's notation)
+//	-f 2                resilience, for -alg fig2
+//	-alg fig1           fig1 | fig2 | omegan | consensus | async
+//	-crash 0:10,3:45    crash times, pid:step pairs (0-based pids)
+//	-stabilize 100      failure detector stabilization step
+//	-seed 1             seed for noise, stable choices and random schedule
+//	-sched random       random | roundrobin
+//	-registers-only     back snapshots with the Afek et al. construction
+//	-budget 2097152     step budget
+//
+// Example:
+//
+//	setagree -n 5 -alg fig2 -f 2 -crash 0:10,1:30 -stabilize 200 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"weakestfd"
+	"weakestfd/internal/cli"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("setagree: ")
+	var (
+		n         = flag.Int("n", 4, "number of processes")
+		f         = flag.Int("f", 1, "resilience (for -alg fig2)")
+		alg       = flag.String("alg", "fig1", "algorithm: fig1|fig2|omegan|consensus|boosted|async")
+		crash     = flag.String("crash", "", "crash times as pid:step[,pid:step...]")
+		stabilize = flag.Int64("stabilize", 0, "failure detector stabilization step")
+		seed      = flag.Int64("seed", 1, "random seed")
+		sched     = flag.String("sched", "random", "schedule: random|roundrobin")
+		regOnly   = flag.Bool("registers-only", false, "use the Afek et al. registers-only snapshot")
+		budget    = flag.Int64("budget", 0, "step budget (0 = default)")
+		props     = flag.String("values", "", "comma-separated proposals (default 100..100+n-1)")
+		showTrace = flag.Bool("trace", false, "print a step-class summary of the run")
+	)
+	flag.Parse()
+
+	algorithm, ok := map[string]weakestfd.Algorithm{
+		"fig1":      weakestfd.UpsilonFig1,
+		"fig2":      weakestfd.UpsilonFFig2,
+		"omegan":    weakestfd.OmegaNBaseline,
+		"consensus": weakestfd.OmegaConsensus,
+		"boosted":   weakestfd.OmegaNBoosted,
+		"async":     weakestfd.AsyncAttempt,
+	}[*alg]
+	if !ok {
+		log.Fatalf("unknown -alg %q", *alg)
+	}
+	schedule, ok := map[string]weakestfd.ScheduleKind{
+		"random":     weakestfd.RandomSchedule,
+		"roundrobin": weakestfd.RoundRobinSchedule,
+	}[*sched]
+	if !ok {
+		log.Fatalf("unknown -sched %q", *sched)
+	}
+	crashAt, err := cli.ParseCrashes(*crash)
+	if err != nil {
+		log.Fatal(err)
+	}
+	proposals, err := cli.ParseProposals(*props)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if proposals == nil {
+		proposals = cli.DefaultProposals(*n)
+	}
+	if len(proposals) != *n {
+		log.Fatalf("%d proposals for n=%d", len(proposals), *n)
+	}
+
+	res, err := weakestfd.SolveSetAgreement(weakestfd.SetAgreementConfig{
+		N:             *n,
+		F:             *f,
+		Algorithm:     algorithm,
+		Proposals:     proposals,
+		CrashAt:       crashAt,
+		StabilizeAt:   *stabilize,
+		Seed:          *seed,
+		Schedule:      schedule,
+		RegistersOnly: *regOnly,
+		Budget:        *budget,
+		Trace:         *showTrace,
+	})
+	if err != nil {
+		log.SetOutput(os.Stderr)
+		log.Fatal(err)
+	}
+
+	fmt.Printf("algorithm:  %v\n", algorithm)
+	fmt.Printf("steps:      %d\n", res.Steps)
+	fmt.Printf("crashed:    %v\n", res.Crashed)
+	fmt.Printf("decisions:\n")
+	for i := 0; i < *n; i++ {
+		if v, ok := res.Decisions[i]; ok {
+			fmt.Printf("  p%-3d %d\n", i+1, v)
+		} else {
+			fmt.Printf("  p%-3d (crashed)\n", i+1)
+		}
+	}
+	fmt.Printf("distinct:   %v (bound ≤ %d)\n", res.Distinct, res.K)
+	if res.Trace != "" {
+		fmt.Println("\ntrace summary:")
+		fmt.Print(res.Trace)
+	}
+}

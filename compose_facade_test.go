@@ -1,0 +1,56 @@
+package weakestfd
+
+import "testing"
+
+func TestSolveWithStableDetector(t *testing.T) {
+	for _, d := range []Detector{Omega, OmegaN, StableEvPerfect} {
+		t.Run(d.String(), func(t *testing.T) {
+			res, err := SolveWithStableDetector(ComposeConfig{
+				N:           4,
+				From:        d,
+				Proposals:   []int64{10, 20, 30, 40},
+				CrashAt:     map[int]int64{2: 70},
+				StabilizeAt: 100,
+				Seed:        2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Distinct) > res.K {
+				t.Fatalf("agreement: %v > %d", res.Distinct, res.K)
+			}
+		})
+	}
+}
+
+func TestSolveWithStableDetectorDeterminism(t *testing.T) {
+	cfg := ComposeConfig{
+		N: 4, From: Omega, Proposals: []int64{1, 2, 3, 4},
+		StabilizeAt: 80, Seed: 5,
+	}
+	a, err := SolveWithStableDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SolveWithStableDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Steps != b.Steps {
+		t.Fatalf("steps differ: %d vs %d", a.Steps, b.Steps)
+	}
+}
+
+func TestSolveWithStableDetectorValidation(t *testing.T) {
+	cases := map[string]ComposeConfig{
+		"small N":    {N: 1, Proposals: []int64{1}},
+		"bad props":  {N: 3, Proposals: []int64{1}},
+		"omegaF ask": {N: 3, From: OmegaF, Proposals: []int64{1, 2, 3}},
+		"unknown":    {N: 3, From: Detector(42), Proposals: []int64{1, 2, 3}},
+	}
+	for name, cfg := range cases {
+		if _, err := SolveWithStableDetector(cfg); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}

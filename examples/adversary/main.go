@@ -1,0 +1,66 @@
+// The impossibility side (the paper's Theorems 1 and 5): Υ^f cannot be
+// transformed into Ω^f. The proof constructs, against any candidate
+// transformation, a run in which the candidate's output never stabilizes —
+// or, if it does stabilize, a completed run in which its stable output
+// violates the Ω^f specification.
+//
+// This example unleashes that adversary on three natural candidates. Every
+// one of them is falsified, exactly as the theorems predict: "staleness"
+// and "hybrid" are forced to change their output forever, while
+// "complement" freezes and gets a counterexample run in which its chosen
+// set contains no correct process.
+//
+// Run with: go run ./examples/adversary
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"weakestfd"
+)
+
+func main() {
+	const (
+		n      = 5
+		target = 12
+	)
+	fmt.Println("falsifying Ωn-from-Υ extractors (paper: Theorem 1)")
+	fmt.Printf("system: n+1 = %d processes, Υ pinned to {p1..p%d}\n\n", n, n-1)
+	fmt.Println("  candidate    outcome")
+	fmt.Println("  ---------    -------")
+	for _, cand := range []string{"complement", "staleness", "hybrid"} {
+		res, err := weakestfd.Falsify(weakestfd.FalsifyConfig{
+			N: n, F: n - 1,
+			Candidate:      cand,
+			TargetSwitches: target,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch {
+		case res.Stuck:
+			fmt.Printf("  %-12s stuck after %d switches; completed run violates Ωn:\n               %v\n",
+				cand, res.Switches, res.ViolationErr)
+		case res.Switches >= target:
+			fmt.Printf("  %-12s forced to change its output %d times (never stabilizes)\n",
+				cand, res.Switches)
+		default:
+			fmt.Printf("  %-12s survived?! switches=%d (this should be impossible)\n",
+				cand, res.Switches)
+		}
+	}
+	fmt.Println()
+	fmt.Println("Theorem 5 (f-resilient generalization, f = 2):")
+	res, err := weakestfd.Falsify(weakestfd.FalsifyConfig{
+		N: n, F: 2, Candidate: "staleness", TargetSwitches: target,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  staleness against Ω²: %d forced switches in %d steps\n",
+		res.Switches, res.Steps)
+	fmt.Println()
+	fmt.Println("together with the set-agreement protocol (Figure 1), this separates")
+	fmt.Println("Υ from Ωn and disproves the conjecture of Raynal–Travers (Corollary 3).")
+}

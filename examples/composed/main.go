@@ -1,0 +1,47 @@
+// Minimality, end to end: solve set agreement using an arbitrary stable
+// failure detector, without any detector-specific algorithm.
+//
+// Theorem 10 says every stable non-trivial detector D can be transformed
+// into Υ (Figure 3); Theorem 2 says Υ solves set agreement (Figure 1).
+// Composing the two gives a *generic* solver: each process runs the
+// reduction as one parallel task and the agreement protocol — querying the
+// emulated Υ — as another. The pipeline below solves the task with Ω, with
+// Ωn and with an eventually-perfect detector, touching only their φ_D maps.
+//
+// Run with: go run ./examples/composed
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"weakestfd"
+)
+
+func main() {
+	fmt.Println("set agreement via Figure 3 ∘ Figure 1 (Theorem 10 + Theorem 2)")
+	fmt.Println()
+	fmt.Println("  source detector   steps   distinct decisions (≤ 3)")
+	fmt.Println("  ---------------   -----   -------------------------")
+	for _, d := range []weakestfd.Detector{
+		weakestfd.Omega,
+		weakestfd.OmegaN,
+		weakestfd.StableEvPerfect,
+	} {
+		res, err := weakestfd.SolveWithStableDetector(weakestfd.ComposeConfig{
+			N:           4,
+			From:        d,
+			Proposals:   []int64{10, 20, 30, 40},
+			CrashAt:     map[int]int64{1: 55},
+			StabilizeAt: 120,
+			Seed:        3,
+		})
+		if err != nil {
+			log.Fatalf("%v: %v", d, err)
+		}
+		fmt.Printf("  %-17v %5d   %v\n", d, res.Steps, res.Distinct)
+	}
+	fmt.Println()
+	fmt.Println("the solver never saw the detectors — only their φ_D maps. that is")
+	fmt.Println("the paper's minimality result: Υ sits below every stable detector.")
+}

@@ -1,0 +1,83 @@
+// Gladiators and citizens: a narrated run of the paper's Figure 1 protocol
+// on the paper's own 3-process example (Section 4): p1 fails while p2 and
+// p3 are correct, and Υ eventually outputs a fixed set U ≠ {p2, p3}.
+//
+// Processes inside U are "gladiators": they fight to shed one of their
+// values through (|U|−1)-converge. Processes outside U are "citizens": they
+// contribute their value to the round register D[r] and move on. The
+// protocol terminates because Υ guarantees that, eventually, either a
+// gladiator is dead or a citizen is alive.
+//
+// Run with: go run ./examples/gladiators
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"weakestfd/internal/converge"
+	"weakestfd/internal/core"
+	"weakestfd/internal/sim"
+)
+
+func main() {
+	const n = 3
+	pattern := sim.CrashPattern(n, map[sim.PID]sim.Time{0: 40}) // p1 crashes
+
+	// Υ stabilizes at step 60 on U = {p1, p2}: p1 is a gladiator that will
+	// die, p3 is a citizen that will live — both escape hatches on display.
+	spec := core.Upsilon(n)
+	u := sim.SetOf(0, 1)
+	if err := spec.LegalStable(pattern, u); err != nil {
+		log.Fatal(err)
+	}
+	h := spec.HistoryWithStable(pattern, 60, 7, u)
+
+	g := core.NewFig1(n, h, converge.UseAtomic)
+	bodies := make([]sim.Body, n)
+	for i := range bodies {
+		bodies[i] = g.Body(sim.Value(100 + i))
+	}
+
+	fmt.Printf("pattern: %v   stable Υ output: %v (≠ correct %v)\n\n",
+		pattern, u, pattern.Correct())
+
+	var last sim.Time
+	rep, err := sim.Run(sim.Config{
+		Pattern:  pattern,
+		Schedule: sim.RoundRobin(),
+		Budget:   1 << 20,
+		Tracer: func(e sim.Event) {
+			// Print a compressed trace: one line per step, eliding yields.
+			if e.Label == "yield" {
+				return
+			}
+			role := "?"
+			switch {
+			case pattern.CrashedBy(e.P, e.T):
+				role = "dead"
+			case u.Has(e.P):
+				role = "gladiator"
+			default:
+				role = "citizen"
+			}
+			if e.T-last > 1 {
+				fmt.Println("  ...")
+			}
+			last = e.T
+			if e.T <= 40 || e.Label == "write D" || e.Label == "read D" {
+				fmt.Printf("  t=%-4d %v (%s): %s\n", e.T, e.P, role, e.Label)
+			}
+		},
+	}, bodies)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\noutcome:")
+	fmt.Printf("  crashed: %v\n", rep.Crashed)
+	for _, p := range pattern.Correct().Members() {
+		fmt.Printf("  %v decided %d at t=%d\n", p, rep.Decided[p], rep.DecidedAt[p])
+	}
+	fmt.Printf("  distinct decisions: %v (bound ≤ %d)\n", rep.DecidedValues(), g.K())
+}

@@ -1,0 +1,173 @@
+package weakestfd
+
+// Randomized cross-validation: quick-check style sweeps over the whole
+// facade. Every generated configuration must either solve its task with the
+// advertised guarantees or fail with a well-typed error — never panic, never
+// return an unchecked violation. This is the catch-all net under the
+// targeted suites.
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// genConfig derives a pseudo-random but valid configuration from raw bits.
+func genConfig(raw [6]uint8, alg Algorithm) SetAgreementConfig {
+	rng := rand.New(rand.NewSource(int64(raw[0])<<16 | int64(raw[1])<<8 | int64(raw[2])))
+	n := 2 + int(raw[0]%6) // 2..7
+	f := 1 + int(raw[1])%(n-1)
+	proposals := make([]int64, n)
+	distinct := 1 + int(raw[2])%n
+	for i := range proposals {
+		proposals[i] = int64(10 + i%distinct)
+	}
+	crashAt := map[int]int64{}
+	budgetF := f
+	if alg != UpsilonFFig2 {
+		budgetF = n - 1
+	}
+	crashes := int(raw[3]) % (budgetF + 1)
+	for i := 0; i < crashes; i++ {
+		crashAt[(i*2+1)%n] = int64(5 + rng.Intn(200))
+	}
+	sched := RandomSchedule
+	if raw[4]%4 == 0 {
+		sched = RoundRobinSchedule
+	}
+	return SetAgreementConfig{
+		N: n, F: f, Algorithm: alg,
+		Proposals:   proposals,
+		CrashAt:     crashAt,
+		StabilizeAt: int64(raw[5]) * 4,
+		Seed:        int64(raw[4]),
+		Schedule:    sched,
+		Budget:      1 << 22,
+	}
+}
+
+func TestQuickSolveSetAgreementFig1(t *testing.T) {
+	prop := func(raw [6]uint8) bool {
+		cfg := genConfig(raw, UpsilonFig1)
+		res, err := SolveSetAgreement(cfg)
+		if err != nil {
+			t.Logf("cfg %+v: %v", cfg, err)
+			return false
+		}
+		return len(res.Distinct) <= res.K
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSolveSetAgreementFig2(t *testing.T) {
+	prop := func(raw [6]uint8) bool {
+		cfg := genConfig(raw, UpsilonFFig2)
+		res, err := SolveSetAgreement(cfg)
+		if err != nil {
+			t.Logf("cfg %+v: %v", cfg, err)
+			return false
+		}
+		return len(res.Distinct) <= cfg.F
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBaselines(t *testing.T) {
+	for _, alg := range []Algorithm{OmegaNBaseline, OmegaConsensus, OmegaNBoosted} {
+		t.Run(alg.String(), func(t *testing.T) {
+			prop := func(raw [6]uint8) bool {
+				cfg := genConfig(raw, alg)
+				res, err := SolveSetAgreement(cfg)
+				if err != nil {
+					t.Logf("cfg %+v: %v", cfg, err)
+					return false
+				}
+				return len(res.Distinct) <= res.K
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestQuickExtraction(t *testing.T) {
+	dets := []Detector{Omega, OmegaN, OmegaF, StableEvPerfect}
+	prop := func(raw [5]uint8) bool {
+		n := 3 + int(raw[0]%4) // 3..6
+		f := 2 + int(raw[1])%(n-2)
+		det := dets[int(raw[2])%len(dets)]
+		if det == OmegaN {
+			f = n - 1 // Ωn extracts the wait-free Υ; the facade rejects other F
+		}
+		crashAt := map[int]int64{}
+		if raw[3]%2 == 0 {
+			crashAt[int(raw[3])%n] = int64(300 + 10*int(raw[4]))
+		}
+		res, err := ExtractUpsilon(ExtractConfig{
+			N: n, F: f, From: det,
+			StabilizeAt: int64(raw[4]) * 2,
+			CrashAt:     crashAt,
+			Seed:        int64(raw[0]) ^ int64(raw[4])<<3,
+			Budget:      60_000,
+		})
+		if err != nil {
+			t.Logf("n=%d f=%d det=%v: %v", n, f, det, err)
+			return false
+		}
+		return res.LegalErr == nil && len(res.Stable) >= n-f
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAsyncNeverViolatesSafety(t *testing.T) {
+	// The FD-free attempt may or may not terminate; when it does, the
+	// outcome must still satisfy (n−1)-set agreement, and when it does not,
+	// the error must be ErrNoTermination, not a safety violation.
+	prop := func(raw [6]uint8) bool {
+		cfg := genConfig(raw, AsyncAttempt)
+		cfg.Budget = 30_000
+		res, err := SolveSetAgreement(cfg)
+		if err != nil {
+			return errors.Is(err, ErrNoTermination)
+		}
+		return len(res.Distinct) <= cfg.N-1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTimingAssumptions(t *testing.T) {
+	prop := func(raw [5]uint8) bool {
+		n := 3 + int(raw[0]%3)
+		proposals := make([]int64, n)
+		for i := range proposals {
+			proposals[i] = int64(100 + i)
+		}
+		crashAt := map[int]int64{}
+		if raw[1]%2 == 0 {
+			crashAt[int(raw[1])%n] = int64(200 + 10*int(raw[2]))
+		}
+		res, err := SolveWithTimingAssumptions(TimedConfig{
+			N: n, Proposals: proposals, CrashAt: crashAt,
+			GST:  400 + int64(raw[3])*8,
+			Seed: int64(raw[4]),
+		})
+		if err != nil {
+			t.Logf("n=%d: %v", n, err)
+			return false
+		}
+		return len(res.Distinct) <= res.K
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

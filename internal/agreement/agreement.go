@@ -1,0 +1,234 @@
+// Package agreement implements the baseline algorithms the paper compares
+// against or builds upon:
+//
+//   - consensus from Ω and registers (the Chandra–Hadzilacos–Toueg setting
+//     in shared memory, via leader-driven 1-converge rounds),
+//   - n-set agreement from Ωn and registers (Neiger, the paper's [18] — the
+//     algorithm the conjecture of [19] was about),
+//   - the FD-free asynchronous attempt, which cannot terminate in general
+//     (FLP / set-agreement impossibility) and serves as the impossibility
+//     side of the experiments.
+package agreement
+
+import (
+	"fmt"
+	"sync"
+
+	"weakestfd/internal/converge"
+	"weakestfd/internal/fd"
+	"weakestfd/internal/memory"
+	"weakestfd/internal/sim"
+)
+
+// OmegaConsensus solves consensus (1-set agreement) among n processes using
+// an Ω history and registers, tolerating n−1 crashes. In round r, processes
+// that currently consider themselves the leader run 1-converge[r]; a commit
+// is posted to the decision register. Non-leaders poll the decision register
+// and the round announcements. Safety comes from 1-converge's C-Agreement
+// chained through round announcements; liveness from Ω's eventual unique
+// correct leader running alone.
+type OmegaConsensus struct {
+	n     int
+	omega sim.Oracle
+	conv  *converge.Series
+	d     *memory.Register[memory.Opt[sim.Value]]
+	last  *lazyRegs // LastVal[r]: the value picked in round r
+}
+
+// NewOmegaConsensus builds the shared state for one consensus run.
+func NewOmegaConsensus(n int, omega sim.Oracle, impl converge.Impl) *OmegaConsensus {
+	if n < 1 {
+		panic(fmt.Sprintf("agreement: OmegaConsensus n=%d", n))
+	}
+	return &OmegaConsensus{
+		n:     n,
+		omega: omega,
+		conv:  converge.NewSeries("cons", n, impl),
+		d:     memory.NewRegister[memory.Opt[sim.Value]]("D"),
+		last:  newLazyRegs(),
+	}
+}
+
+// Body returns the consensus automaton proposing the given value.
+func (c *OmegaConsensus) Body(input sim.Value) sim.Body {
+	return func(p *sim.Proc) (sim.Value, bool) {
+		v := input
+		me := p.ID()
+		for r := 1; ; {
+			if d := c.d.Read(p); d.OK {
+				return d.V, true
+			}
+			if fd.Query[sim.PID](p, c.omega) != me {
+				continue // not the leader: poll again
+			}
+			// Catch up on the latest announced pick before proposing.
+			if w := c.last.at(r).Read(p); w.OK {
+				v = w.V
+				r++
+				continue
+			}
+			picked, committed := c.conv.At(r, 0, 1).Converge(p, v)
+			v = picked
+			c.last.at(r).Write(p, memory.Some(v))
+			if committed {
+				c.d.Write(p, memory.Some(v))
+				return v, true
+			}
+			r++
+		}
+	}
+}
+
+// OmegaNSetAgreement solves (n−1)-set agreement among n processes using an
+// Ωn-style history (a set of n−1 processes eventually containing a correct
+// process) and registers — the paper's [18] baseline, which Corollary 3
+// shows is *not* based on the weakest detector for the task. Each round,
+// processes currently inside the Ωn set announce their values; every process
+// adopts the first announcement it sees for the round (at most n−1 distinct,
+// since only Ωn members announce) and runs (n−1)-converge[r]; a commit is
+// posted to the decision register.
+type OmegaNSetAgreement struct {
+	n      int
+	omegaN sim.Oracle
+	conv   *converge.Series
+	d      *memory.Register[memory.Opt[sim.Value]]
+	ann    *lazyArrays // Announce[r][i]
+}
+
+// NewOmegaNSetAgreement builds the shared state for one run.
+func NewOmegaNSetAgreement(n int, omegaN sim.Oracle, impl converge.Impl) *OmegaNSetAgreement {
+	if n < 2 {
+		panic(fmt.Sprintf("agreement: OmegaNSetAgreement n=%d", n))
+	}
+	return &OmegaNSetAgreement{
+		n:      n,
+		omegaN: omegaN,
+		conv:   converge.NewSeries("nset", n, impl),
+		d:      memory.NewRegister[memory.Opt[sim.Value]]("D"),
+		ann:    newLazyArrays(n),
+	}
+}
+
+// K returns the agreement parameter, n−1.
+func (a *OmegaNSetAgreement) K() int { return a.n - 1 }
+
+// Body returns the automaton proposing the given value.
+func (a *OmegaNSetAgreement) Body(input sim.Value) sim.Body {
+	return func(p *sim.Proc) (sim.Value, bool) {
+		v := input
+		me := p.ID()
+		for r := 1; ; r++ {
+			if d := a.d.Read(p); d.OK {
+				return d.V, true
+			}
+			ann := a.ann.at(r)
+			// Wait until the round has an announcement from a current Ωn
+			// member, announcing ourselves whenever we are a member.
+			adopted := false
+			for !adopted {
+				l := fd.Query[sim.Set](p, a.omegaN)
+				if l.Has(me) {
+					ann.Write(p, me, memory.Some(v))
+				}
+				for _, j := range l.Members() {
+					if w := ann.Read(p, j); w.OK {
+						v = w.V
+						adopted = true
+						break
+					}
+				}
+				if d := a.d.Read(p); d.OK {
+					return d.V, true
+				}
+			}
+			picked, committed := a.conv.At(r, 0, a.n-1).Converge(p, v)
+			v = picked
+			if committed {
+				a.d.Write(p, memory.Some(v))
+				return v, true
+			}
+		}
+	}
+}
+
+// AsyncAttempt is the FD-free attempt at (n−1)-set agreement: processes loop
+// on (n−1)-converge instances with no failure information. Convergence only
+// fires when at most n−1 distinct values remain in play, which an adversary
+// (or plain bad luck with n distinct inputs and no crashes) prevents
+// forever — the executable face of the set-agreement impossibility the
+// paper builds on [2,14,20].
+type AsyncAttempt struct {
+	n    int
+	conv *converge.Series
+	d    *memory.Register[memory.Opt[sim.Value]]
+}
+
+// NewAsyncAttempt builds the shared state for one attempt.
+func NewAsyncAttempt(n int, impl converge.Impl) *AsyncAttempt {
+	return &AsyncAttempt{
+		n:    n,
+		conv: converge.NewSeries("async", n, impl),
+		d:    memory.NewRegister[memory.Opt[sim.Value]]("D"),
+	}
+}
+
+// Body returns the automaton proposing the given value.
+func (a *AsyncAttempt) Body(input sim.Value) sim.Body {
+	return func(p *sim.Proc) (sim.Value, bool) {
+		v := input
+		for r := 1; ; r++ {
+			if d := a.d.Read(p); d.OK {
+				return d.V, true
+			}
+			picked, committed := a.conv.At(r, 0, a.n-1).Converge(p, v)
+			v = picked
+			if committed {
+				a.d.Write(p, memory.Some(v))
+				return v, true
+			}
+		}
+	}
+}
+
+// lazyRegs lazily allocates a register per round.
+type lazyRegs struct {
+	mu sync.Mutex
+	m  map[int]*memory.Register[memory.Opt[sim.Value]]
+}
+
+func newLazyRegs() *lazyRegs {
+	return &lazyRegs{m: make(map[int]*memory.Register[memory.Opt[sim.Value]])}
+}
+
+func (l *lazyRegs) at(r int) *memory.Register[memory.Opt[sim.Value]] {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	reg, ok := l.m[r]
+	if !ok {
+		reg = memory.NewRegister[memory.Opt[sim.Value]](fmt.Sprintf("Last[%d]", r))
+		l.m[r] = reg
+	}
+	return reg
+}
+
+// lazyArrays lazily allocates a register array per round.
+type lazyArrays struct {
+	mu sync.Mutex
+	n  int
+	m  map[int]*memory.Array[memory.Opt[sim.Value]]
+}
+
+func newLazyArrays(n int) *lazyArrays {
+	return &lazyArrays{n: n, m: make(map[int]*memory.Array[memory.Opt[sim.Value]])}
+}
+
+func (l *lazyArrays) at(r int) *memory.Array[memory.Opt[sim.Value]] {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	arr, ok := l.m[r]
+	if !ok {
+		arr = memory.NewArray[memory.Opt[sim.Value]](fmt.Sprintf("Ann[%d]", r), l.n)
+		l.m[r] = arr
+	}
+	return arr
+}

@@ -1,0 +1,159 @@
+package agreement
+
+import (
+	"fmt"
+	"testing"
+
+	"weakestfd/internal/check"
+	"weakestfd/internal/converge"
+	"weakestfd/internal/fd"
+	"weakestfd/internal/memory"
+	"weakestfd/internal/sim"
+)
+
+func runBoosted(t *testing.T, pattern sim.Pattern, ts sim.Time, seed int64, sched sim.Schedule) (*sim.Report, *BoostedConsensus) {
+	t.Helper()
+	n := pattern.N()
+	omegaN := fd.NewOmegaF(pattern, n-1, ts, seed)
+	b := NewBoostedConsensus(n, omegaN, converge.UseAtomic)
+	bodies := make([]sim.Body, n)
+	proposals := make([]sim.Value, n)
+	for i := range bodies {
+		proposals[i] = sim.Value(10 + i)
+		bodies[i] = b.Body(proposals[i])
+	}
+	rep, err := sim.Run(sim.Config{Pattern: pattern, Schedule: sched, Budget: 1 << 22}, bodies)
+	if err != nil {
+		t.Fatalf("boosted run: %v", err)
+	}
+	if err := check.Consensus(rep, pattern, proposals); err != nil {
+		t.Fatalf("boosted consensus violated: %v", err)
+	}
+	if err := b.Objects().AllAccessorsWithinLimit(); err != nil {
+		t.Fatalf("consensus-object discipline violated: %v", err)
+	}
+	return rep, b
+}
+
+func TestBoostedConsensusSweep(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		crashes := map[sim.PID]sim.Time{}
+		for i := 1; i < n; i++ {
+			crashes[sim.PID(i)] = sim.Time(11 * i)
+		}
+		patterns := map[string]sim.Pattern{
+			"failfree":  sim.FailFree(n),
+			"one-crash": sim.CrashPattern(n, map[sim.PID]sim.Time{sim.PID(n - 1): 23}),
+			"wait-free": sim.CrashPattern(n, crashes),
+		}
+		for pname, pattern := range patterns {
+			t.Run(fmt.Sprintf("n%d/%s", n, pname), func(t *testing.T) {
+				for seed := int64(0); seed < 4; seed++ {
+					runBoosted(t, pattern, 90, seed, sim.NewRandom(seed+17))
+				}
+			})
+		}
+	}
+}
+
+func TestBoostedConsensusRoundRobin(t *testing.T) {
+	n := 5
+	pattern := sim.CrashPattern(n, map[sim.PID]sim.Time{0: 35})
+	runBoosted(t, pattern, 250, 3, sim.RoundRobin())
+}
+
+func TestBoostedConsensusDivergentViewsStaySafe(t *testing.T) {
+	// With a long noise period, divergent Ωn views hit many distinct
+	// consensus objects; the per-object n-process limit must never trip
+	// (the family panics if it does) and consensus must still hold.
+	n := 4
+	pattern := sim.FailFree(n)
+	rep, b := runBoosted(t, pattern, 3_000, 7, sim.NewRandom(5))
+	if err := b.Objects().AllAccessorsWithinLimit(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.DecidedValues()) != 1 {
+		t.Fatalf("decided %v", rep.DecidedValues())
+	}
+}
+
+func TestConsensusObjectSemantics(t *testing.T) {
+	obj := memory.NewConsensusObject("c", 2)
+	var got [2]sim.Value
+	body := func(p *sim.Proc) (sim.Value, bool) {
+		got[p.ID()] = obj.Propose(p, sim.Value(p.ID())+10)
+		return got[p.ID()], true
+	}
+	rep, err := sim.Run(sim.Config{Pattern: sim.FailFree(2), Schedule: sim.RoundRobin()},
+		[]sim.Body{body, body})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != got[1] {
+		t.Fatalf("object decided two values: %v", got)
+	}
+	if got[0] != 10 {
+		t.Fatalf("first proposal should win under round-robin, got %v", got[0])
+	}
+	if len(rep.DecidedValues()) != 1 {
+		t.Fatalf("decisions %v", rep.DecidedValues())
+	}
+	if obj.Accessors() != sim.SetOf(0, 1) {
+		t.Fatalf("accessors %v", obj.Accessors())
+	}
+	if d := obj.Decision(); !d.OK || d.V != 10 {
+		t.Fatalf("decision %+v", d)
+	}
+}
+
+func TestConsensusObjectLimitEnforced(t *testing.T) {
+	obj := memory.NewConsensusObject("c", 2)
+	body := func(p *sim.Proc) (sim.Value, bool) {
+		obj.Propose(p, 1)
+		return 0, true
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("third accessor must panic")
+		}
+	}()
+	_, _ = sim.Run(sim.Config{Pattern: sim.FailFree(3), Schedule: sim.RoundRobin()},
+		[]sim.Body{body, body, body})
+}
+
+func TestConsFamilyKeying(t *testing.T) {
+	fam := memory.NewConsFamily("c", 2)
+	a := fam.At(1, sim.SetOf(0, 1))
+	b := fam.At(1, sim.SetOf(0, 1))
+	c := fam.At(1, sim.SetOf(0, 2))
+	d := fam.At(2, sim.SetOf(0, 1))
+	if a != b || a == c || a == d {
+		t.Fatal("keying wrong")
+	}
+	if err := fam.AllAccessorsWithinLimit(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized key set must panic")
+		}
+	}()
+	fam.At(1, sim.SetOf(0, 1, 2))
+}
+
+func TestConsFamilyDetectsForeignAccessor(t *testing.T) {
+	fam := memory.NewConsFamily("c", 2)
+	obj := fam.At(1, sim.SetOf(0, 1))
+	body := func(p *sim.Proc) (sim.Value, bool) {
+		obj.Propose(p, 5) // p3 accessing the {p1,p2}-keyed object
+		return 0, true
+	}
+	spin := func(p *sim.Proc) (sim.Value, bool) { return 0, true }
+	if _, err := sim.Run(sim.Config{Pattern: sim.FailFree(3), Schedule: sim.Priority(2)},
+		[]sim.Body{spin, spin, body}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fam.AllAccessorsWithinLimit(); err == nil {
+		t.Fatal("foreign accessor not detected")
+	}
+}

@@ -1,0 +1,70 @@
+// Package cli holds flag-parsing helpers shared by the command-line tools.
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseCrashes parses a crash specification of the form
+// "pid:step[,pid:step...]" with 0-based pids, e.g. "0:10,3:45".
+// An empty string yields a nil map (no crashes).
+func ParseCrashes(s string) (map[int]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[int]int64)
+	for _, part := range strings.Split(s, ",") {
+		pid, step, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("cli: bad crash spec %q (want pid:step)", part)
+		}
+		p, err := strconv.Atoi(strings.TrimSpace(pid))
+		if err != nil {
+			return nil, fmt.Errorf("cli: bad crash pid %q: %w", pid, err)
+		}
+		if p < 0 {
+			return nil, fmt.Errorf("cli: negative crash pid %d", p)
+		}
+		t, err := strconv.ParseInt(strings.TrimSpace(step), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("cli: bad crash step %q: %w", step, err)
+		}
+		if t < 0 {
+			return nil, fmt.Errorf("cli: negative crash step %d", t)
+		}
+		if _, dup := out[p]; dup {
+			return nil, fmt.Errorf("cli: duplicate crash pid %d", p)
+		}
+		out[p] = t
+	}
+	return out, nil
+}
+
+// ParseProposals parses a comma-separated value list, e.g. "10,20,30"; an
+// empty string yields nil (caller applies defaults).
+func ParseProposals(s string) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int64, 0, len(parts))
+	for _, part := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("cli: bad proposal %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// DefaultProposals returns n distinct proposals 100..100+n−1.
+func DefaultProposals(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(100 + i)
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"weakestfd/internal/sim"
+)
+
+func TestAdversaryTheorem1(t *testing.T) {
+	// Theorem 1 (f = n, i.e. size-(n) sets among n+1 processes): the
+	// adversary falsifies every candidate Ωn-from-Υ extractor, either by
+	// forcing unbounded output switches or by completing a run where the
+	// stuck output violates Ωn.
+	for _, n := range []int{3, 4, 6} {
+		f := n - 1
+		for _, ext := range AllExtractors() {
+			t.Run(fmt.Sprintf("n%d/%s", n, ext.Name), func(t *testing.T) {
+				res := RunAdversary(AdversaryConfig{
+					N: n, F: f,
+					Extractor:      ext,
+					TargetSwitches: 25,
+					Budget:         1 << 21,
+				})
+				if !res.Falsified(25) {
+					t.Fatalf("adversary failed to falsify %s: switches=%d stuck=%v violation=%+v",
+						ext.Name, res.Switches, res.Stuck, res.Violation)
+				}
+				t.Logf("%s: switches=%d stuck=%v steps=%d", ext.Name, res.Switches, res.Stuck, res.Steps)
+			})
+		}
+	}
+}
+
+func TestAdversaryTheorem5(t *testing.T) {
+	// Theorem 5 (2 ≤ f ≤ n−1): same story for Ω^f-from-Υ^f.
+	n := 6
+	for f := 2; f <= n-2; f++ {
+		for _, ext := range AllExtractors() {
+			t.Run(fmt.Sprintf("f%d/%s", f, ext.Name), func(t *testing.T) {
+				res := RunAdversary(AdversaryConfig{
+					N: n, F: f,
+					Extractor:      ext,
+					TargetSwitches: 15,
+					Budget:         1 << 21,
+				})
+				if !res.Falsified(15) {
+					t.Fatalf("adversary failed to falsify %s: switches=%d stuck=%v",
+						ext.Name, res.Switches, res.Stuck)
+				}
+			})
+		}
+	}
+}
+
+func TestAdversaryComplementGetsViolationWitness(t *testing.T) {
+	// The complement extractor sticks with a constant guess against the
+	// constant-U history, so the adversary must produce the completed-run
+	// witness, with the replay confirming the stuck output at every
+	// survivor.
+	res := RunAdversary(AdversaryConfig{
+		N: 4, F: 3,
+		Extractor:      ComplementExtractor(),
+		TargetSwitches: 5,
+		PhaseBudget:    2_000,
+		Budget:         1 << 20,
+	})
+	if !res.Stuck {
+		t.Fatalf("complement extractor should be stuck, got %d switches", res.Switches)
+	}
+	v := res.Violation
+	if v == nil {
+		t.Fatal("missing violation witness")
+	}
+	if v.Err == nil {
+		t.Fatalf("stuck output %v should violate Ω^f under %v", v.StableL, v.Pattern)
+	}
+	if !v.Confirmed {
+		t.Fatal("deterministic replay failed to confirm the witness")
+	}
+	if v.Pattern.Faulty() != v.StableL {
+		t.Fatalf("completion should crash exactly the stuck set: faulty=%v stuck=%v",
+			v.Pattern.Faulty(), v.StableL)
+	}
+	if got := v.Pattern.NumFaulty(); got != 3 {
+		t.Fatalf("completion crashes %d processes, want f=3 (stays in E_f)", got)
+	}
+}
+
+func TestAdversaryStalenessForcedToSwitchForever(t *testing.T) {
+	// The staleness extractor keeps chasing the adversary: switches grow
+	// with the target, demonstrating the non-stabilizing run of the proofs.
+	prev := 0
+	for _, target := range []int{5, 20, 60} {
+		res := RunAdversary(AdversaryConfig{
+			N: 5, F: 4,
+			Extractor:      StalenessExtractor(),
+			TargetSwitches: target,
+			Budget:         1 << 22,
+		})
+		if res.Stuck {
+			t.Fatalf("staleness extractor stuck at %d switches", res.Switches)
+		}
+		if res.Switches < target {
+			t.Fatalf("only %d switches, wanted %d", res.Switches, target)
+		}
+		if res.Switches < prev {
+			t.Fatalf("switches not monotone in target")
+		}
+		prev = res.Switches
+	}
+}
+
+func TestAdversaryHistoryAlternates(t *testing.T) {
+	// Consecutive forced candidates must differ — the proofs' L_{i+1} ≠ L_i.
+	res := RunAdversary(AdversaryConfig{
+		N: 4, F: 3,
+		Extractor:      StalenessExtractor(),
+		TargetSwitches: 10,
+		Budget:         1 << 21,
+	})
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i] == res.History[i-1] {
+			t.Fatalf("history repeats at %d: %v", i, res.History[i])
+		}
+	}
+}
+
+func TestAdversaryConstantUpsilonIsLegalForCompletion(t *testing.T) {
+	// Sanity of the construction: the constant U = {p1..pn} used by the
+	// adversary must be a legal Υ^f output both for the failure-free run
+	// and for the violation completion (the proofs' "it is thus legitimate
+	// for Υ^f to output U").
+	res := RunAdversary(AdversaryConfig{
+		N: 5, F: 3,
+		Extractor:      ComplementExtractor(),
+		TargetSwitches: 3,
+		PhaseBudget:    2_000,
+		Budget:         1 << 20,
+	})
+	spec := UpsilonF(5, 3)
+	if err := spec.LegalStable(sim.FailFree(5), res.U); err != nil {
+		t.Fatalf("U illegal for the driven run: %v", err)
+	}
+	if res.Violation != nil {
+		if err := spec.LegalStable(res.Violation.Pattern, res.U); err != nil {
+			t.Fatalf("U illegal for the completion: %v", err)
+		}
+	}
+}
+
+func TestAdversaryParamValidation(t *testing.T) {
+	for _, tc := range []struct{ n, f int }{{2, 1}, {4, 1}, {4, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RunAdversary(n=%d, f=%d) should panic", tc.n, tc.f)
+				}
+			}()
+			RunAdversary(AdversaryConfig{N: tc.n, F: tc.f, Extractor: ComplementExtractor()})
+		}()
+	}
+}
+
+func TestPadToSize(t *testing.T) {
+	if got := padToSize(sim.SetOf(5), 3, 6); got != sim.SetOf(0, 1, 5) {
+		t.Errorf("pad = %v", got)
+	}
+	if got := padToSize(sim.SetOf(0, 1, 2, 3), 2, 6); got != sim.SetOf(0, 1) {
+		t.Errorf("trim = %v", got)
+	}
+	if got := padToSize(sim.SetOf(1, 2), 2, 6); got != sim.SetOf(1, 2) {
+		t.Errorf("identity = %v", got)
+	}
+}
+
+func TestFreshest(t *testing.T) {
+	beats := []int64{5, 9, 9, 1}
+	if got := freshest(beats, 2); got != sim.SetOf(1, 2) {
+		t.Errorf("freshest = %v", got)
+	}
+	if got := freshest(beats, 3); got != sim.SetOf(0, 1, 2) {
+		t.Errorf("freshest = %v", got)
+	}
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"weakestfd/internal/memory"
+	"weakestfd/internal/sim"
+)
+
+// Phi is the map φ_D of Corollary 9: it carries each value d in the range of
+// a stable f-non-trivial failure detector D to a pair (correct(σ), w(σ))
+// where σ ∈ (Π × {d})* is *not* an f-resilient sample of D,
+// |correct(σ)| ≥ n+1−f, and w(σ) is the length of the shortest prefix of σ
+// containing all steps of the processes that appear only finitely often.
+//
+// The paper proves φ_D exists for every f-non-trivial D but does not
+// construct it (the proof of Theorem 10 is non-constructive); to run the
+// reduction one must exhibit φ_D per concrete detector — see PhiOmega,
+// PhiOmegaF, PhiStableEvPerfect and PhiWitnessed in phi.go.
+//
+// Detector values must be comparable with == (true of every range used in
+// this module: sim.PID and sim.Set).
+type Phi func(d any) (s sim.Set, w int)
+
+// Extraction is the paper's Figure 3: the reduction algorithm transforming
+// any stable f-non-trivial failure detector D into Υ^f. Each process runs
+// two interleaved tasks:
+//
+//	Task 1: query D and publish the value with an ever-increasing timestamp
+//	        in the single-writer register R[i].
+//	Task 2: proceed in rounds. Entering round r, set the emulated output to
+//	        Π, read the current value d and compute (S, w) = φ_D(d). If
+//	        S = Π, just watch for a differing report. Otherwise count
+//	        "batches" — a batch completes when every process (including the
+//	        faulty-to-be!) has published d at least twice since the last
+//	        batch — up to w of them, or accept the shared flag Exited[r][j]
+//	        = d from a process that already observed w batches; then set the
+//	        emulated output to S and watch for a differing report. Any fresh
+//	        report carrying a value ≠ d sets the shared flag Changed[r],
+//	        which advances every process of round r to round r+1.
+//
+// Eventually D stabilizes on some d everywhere. If some process has crashed
+// and the batches never complete, all correct processes output Π — legal,
+// since correct ≠ Π. If the batches complete, all correct processes output
+// S, and σ's non-sample property guarantees S ≠ correct: otherwise the very
+// run at hand would exhibit σ as an f-resilient sample of D.
+type Extraction struct {
+	n   int
+	d   sim.Oracle
+	phi Phi
+	// r holds the published (value, timestamp) reports.
+	r *memory.Array[report]
+	// out is the emulated Υ^f output, one register per process.
+	out    *memory.Array[sim.Set]
+	rounds *extractRounds
+}
+
+type report struct {
+	val any
+	ts  int64
+}
+
+// NewExtraction builds the shared state of one Figure 3 run over n
+// processes, extracting from detector history d via φ_D.
+func NewExtraction(n int, d sim.Oracle, phi Phi) *Extraction {
+	if phi == nil {
+		panic("core: NewExtraction with nil Phi")
+	}
+	return &Extraction{
+		n:      n,
+		d:      d,
+		phi:    phi,
+		r:      memory.NewArray[report]("R", n),
+		out:    memory.NewArray[sim.Set]("Υf-output", n),
+		rounds: newExtractRounds(n),
+	}
+}
+
+// Output returns the current emulated Υ^f outputs; for inspection between
+// steps (schedules, stop predicates, post-run checks) only.
+func (e *Extraction) Output() []sim.Set { return e.out.Inspect() }
+
+// OutputAt returns process i's current emulated output.
+func (e *Extraction) OutputAt(i sim.PID) sim.Set { return e.out.At(i).Inspect() }
+
+// Body returns the reduction automaton for one process. It never returns;
+// extraction runs are ended by the step budget or a stop predicate.
+func (e *Extraction) Body() sim.Body {
+	return func(p *sim.Proc) (sim.Value, bool) {
+		me := p.ID()
+		full := sim.FullSet(e.n)
+		ts := int64(0)
+		lastTS := make([]int64, e.n) // freshness horizon per process
+
+		// publish runs one Task 1 action: query D, publish with timestamp.
+		publish := func() any {
+			d := p.Query(e.d)
+			ts++
+			e.r.Write(p, me, report{val: d, ts: ts})
+			return d
+		}
+
+		d := publish()
+		for r := 1; ; r++ {
+			// Round entry (lines 7-10).
+			e.out.Write(p, me, full)
+			s, w := e.phi(d)
+			changed, exited := e.rounds.at(r)
+			batches := 0
+			fresh := make([]int, e.n)
+			sSet := false
+
+			for !changed.Read(p) {
+				d2 := publish() // Task 1 interleaved with Task 2
+				if d2 != d {
+					changed.Write(p, true)
+					break
+				}
+				// Read all reports, tracking freshness.
+				sawBatch := true
+				for j := 0; j < e.n; j++ {
+					rep := e.r.Read(p, sim.PID(j))
+					if rep.ts > lastTS[j] {
+						if rep.val != d {
+							changed.Write(p, true)
+						}
+						fresh[j] += int(rep.ts - lastTS[j])
+						lastTS[j] = rep.ts
+					}
+					if fresh[j] < 2 {
+						sawBatch = false
+					}
+				}
+				if s == full || sSet {
+					continue // wait for a differing report (line 21)
+				}
+				if sawBatch {
+					batches++
+					for j := range fresh {
+						fresh[j] = 0
+					}
+				}
+				if batches < w {
+					// Accept another process's observation (line 15's
+					// "some process observes r batches").
+					if ex := exited.Read(p, me); ex.OK && ex.V == d {
+						batches = w
+					} else {
+						for j := 0; j < e.n && batches < w; j++ {
+							if ex := exited.Read(p, sim.PID(j)); ex.OK && ex.V == d {
+								batches = w
+							}
+						}
+					}
+				}
+				if batches >= w {
+					exited.Write(p, me, memory.Some[any](d)) // line 19
+					e.out.Write(p, me, s)
+					sSet = true
+				}
+			}
+			// Round r is over; adopt the freshest value we have seen.
+			d = publish()
+		}
+	}
+}
+
+// extractRounds lazily allocates the per-round shared flags of Figure 3:
+// Changed[r] (a differing report was seen; advance) and Exited[r][j] (the
+// value with which j exited the wait clause).
+type extractRounds struct {
+	mu sync.Mutex
+	n  int
+	m  map[int]*extractRound
+}
+
+type extractRound struct {
+	changed *memory.Register[bool]
+	exited  *memory.Array[memory.Opt[any]]
+}
+
+func newExtractRounds(n int) *extractRounds {
+	return &extractRounds{n: n, m: make(map[int]*extractRound)}
+}
+
+func (er *extractRounds) at(r int) (*memory.Register[bool], *memory.Array[memory.Opt[any]]) {
+	er.mu.Lock()
+	defer er.mu.Unlock()
+	round, ok := er.m[r]
+	if !ok {
+		round = &extractRound{
+			changed: memory.NewRegister[bool](fmt.Sprintf("Changed[%d]", r)),
+			exited:  memory.NewArray[memory.Opt[any]](fmt.Sprintf("Exited[%d]", r), er.n),
+		}
+		er.m[r] = round
+	}
+	return round.changed, round.exited
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"sort"
+
+	"weakestfd/internal/fd"
+	"weakestfd/internal/memory"
+	"weakestfd/internal/sim"
+)
+
+// Candidate extractors for the Theorem 1/5 adversary experiments: natural
+// attempts at computing Ω^f from Υ^f. Theorem 1/5 say every attempt fails;
+// the adversary demonstrates how each of these does.
+
+// ComplementExtractor publishes the complement of the Υ^f output, padded
+// with the lowest process ids up to size f. It is the reverse of the (valid)
+// Ω^f → Υ^f complement reduction; the adversary defeats it by sticking with
+// a constant Υ^f output whose complement it can crash.
+func ComplementExtractor() Extractor {
+	return Extractor{
+		Name: "complement",
+		Build: func(n, f int, upsilon sim.Oracle) ([]sim.Body, *memory.Array[sim.Set]) {
+			out := memory.NewArray[sim.Set]("omegaf-guess", n)
+			bodies := make([]sim.Body, n)
+			for i := range bodies {
+				me := sim.PID(i)
+				bodies[i] = func(p *sim.Proc) (sim.Value, bool) {
+					for {
+						u := fd.Query[sim.Set](p, upsilon)
+						out.Write(p, me, padToSize(u.Complement(n), f, n))
+					}
+				}
+			}
+			return bodies, out
+		},
+	}
+}
+
+// StalenessExtractor publishes the f processes with the freshest heartbeats
+// (highest shared counters, ties to lower ids) — the natural activity-based
+// guess, and the style of reduction that does work for Υ¹ → Ω in E_1
+// (Section 5.3). For f ≥ 2 the adversary defeats it by always running
+// exactly the processes the candidate excluded, making yesterday's stale
+// processes today's freshest, forever.
+func StalenessExtractor() Extractor {
+	return Extractor{
+		Name: "staleness",
+		Build: func(n, f int, _ sim.Oracle) ([]sim.Body, *memory.Array[sim.Set]) {
+			out := memory.NewArray[sim.Set]("omegaf-guess", n)
+			hb := memory.NewArray[int64]("HB", n)
+			bodies := make([]sim.Body, n)
+			for i := range bodies {
+				me := sim.PID(i)
+				bodies[i] = func(p *sim.Proc) (sim.Value, bool) {
+					ts := int64(0)
+					for {
+						ts++
+						hb.Write(p, me, ts)
+						beats := hb.Collect(p)
+						out.Write(p, me, freshest(beats, f))
+					}
+				}
+			}
+			return bodies, out
+		},
+	}
+}
+
+// HybridExtractor uses the complement when the Υ^f output is a proper
+// subset of Π and falls back to heartbeat freshness when it is Π — mirroring
+// the Υ¹ → Ω reduction's case split. Against it the adversary's constant
+// proper-subset history reduces to the complement case.
+func HybridExtractor() Extractor {
+	return Extractor{
+		Name: "hybrid",
+		Build: func(n, f int, upsilon sim.Oracle) ([]sim.Body, *memory.Array[sim.Set]) {
+			out := memory.NewArray[sim.Set]("omegaf-guess", n)
+			hb := memory.NewArray[int64]("HB", n)
+			bodies := make([]sim.Body, n)
+			for i := range bodies {
+				me := sim.PID(i)
+				bodies[i] = func(p *sim.Proc) (sim.Value, bool) {
+					ts := int64(0)
+					for {
+						ts++
+						hb.Write(p, me, ts)
+						u := fd.Query[sim.Set](p, upsilon)
+						var l sim.Set
+						if u != sim.FullSet(p.N()) {
+							l = padToSize(u.Complement(n), f, n)
+						} else {
+							l = freshest(hb.Collect(p), f)
+						}
+						out.Write(p, me, l)
+					}
+				}
+			}
+			return bodies, out
+		},
+	}
+}
+
+// AllExtractors returns the candidate catalogue.
+func AllExtractors() []Extractor {
+	return []Extractor{ComplementExtractor(), StalenessExtractor(), HybridExtractor()}
+}
+
+// padToSize grows s to exactly size by adding the lowest absent ids, or
+// shrinks it by removing the highest members.
+func padToSize(s sim.Set, size, n int) sim.Set {
+	for i := 0; s.Len() < size && i < n; i++ {
+		s = s.Add(sim.PID(i))
+	}
+	members := s.Members()
+	for i := len(members) - 1; s.Len() > size && i >= 0; i-- {
+		s = s.Remove(members[i])
+	}
+	return s
+}
+
+// freshest returns the f processes with the highest heartbeat counters,
+// breaking ties toward lower ids.
+func freshest(beats []int64, f int) sim.Set {
+	idx := make([]int, len(beats))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if beats[idx[a]] != beats[idx[b]] {
+			return beats[idx[a]] > beats[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	var s sim.Set
+	for i := 0; i < f && i < len(idx); i++ {
+		s = s.Add(sim.PID(idx[i]))
+	}
+	return s
+}

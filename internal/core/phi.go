@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+
+	"weakestfd/internal/fd"
+	"weakestfd/internal/sim"
+)
+
+// This file exhibits the φ_D maps (Corollary 9) for the concrete stable
+// detectors the Figure 3 experiments extract from. Theorem 10 only needs
+// φ_D to exist; running the reduction needs it in hand. Each map documents
+// why its σ is not an f-resilient sample.
+
+// PhiOmega is φ_Ω: for a stable leader value ℓ, the sequence σ in which
+// exactly the processes of Π−{ℓ} take steps forever, each always observing
+// ℓ, is not a sample: in any fair run with correct set Π−{ℓ}, Ω must
+// eventually output a correct leader, never permanently ℓ. w(σ) = 0 since
+// every process appearing in σ appears infinitely often.
+//
+// The resulting extraction outputs Π−{ℓ} — precisely the Section 4
+// complement reduction, recovered from the generic theorem.
+func PhiOmega(n int) Phi {
+	return func(d any) (sim.Set, int) {
+		l, ok := d.(sim.PID)
+		if !ok {
+			panic(fmt.Sprintf("core: PhiOmega on %T, want sim.PID", d))
+		}
+		return sim.SetOf(l).Complement(n), 0
+	}
+}
+
+// PhiOmegaF is φ_Ω^f (covering Ωn as size = n): for a stable set value L of
+// size f, the sequence σ in which exactly Π−L take steps forever, each
+// always observing L, is not a sample: Ω^f's eventual set must contain a
+// correct process, and L ∩ (Π−L) = ∅. |Π−L| = n+1−f as required; w(σ) = 0.
+func PhiOmegaF(n int) Phi {
+	return func(d any) (sim.Set, int) {
+		l, ok := d.(sim.Set)
+		if !ok {
+			panic(fmt.Sprintf("core: PhiOmegaF on %T, want sim.Set", d))
+		}
+		return l.Complement(n), 0
+	}
+}
+
+// PhiStableEvPerfect is φ for the stable eventually-perfect detector (range:
+// the suspected set, eventually exactly faulty(F)). For a stable value d the
+// correct set is forced to be Π−d, so: if d ≠ ∅, σ with correct(σ) = Π is
+// not a sample (a fair all-correct run forces the stable output ∅ ≠ d); if
+// d = ∅, σ with correct(σ) = Π−{p0} is not a sample (a run in which p0
+// appears finitely often and the stable output is ∅ would require
+// faulty = ∅... while the non-sample property only needs that *no* F with
+// correct(F) = Π−{p0} admits the constant-∅ history, which holds since
+// faulty(F) = {p0} ≠ ∅ must eventually be output). w(σ) = 0 in the first
+// case; in the second, σ can be chosen with p0 taking a single first step,
+// giving w(σ) = 1 — kept at 1 to exercise the batch machinery.
+func PhiStableEvPerfect(n int) Phi {
+	return func(d any) (sim.Set, int) {
+		s, ok := d.(sim.Set)
+		if !ok {
+			panic(fmt.Sprintf("core: PhiStableEvPerfect on %T, want sim.Set", d))
+		}
+		if !s.IsEmpty() {
+			return sim.FullSet(n), 0
+		}
+		return sim.SetOf(0).Complement(n), 1
+	}
+}
+
+// PhiTaggedOmegaF is φ for the opaque-string-range Ω^f variant
+// (fd.NewTaggedOmegaF): decode the tag to its excluded set L and return its
+// complement, as in PhiOmegaF. The non-sample argument is identical — the
+// range encoding is irrelevant to the failure information carried — and the
+// map exists precisely because Corollary 9 is range-agnostic.
+func PhiTaggedOmegaF(n int) Phi {
+	return func(d any) (sim.Set, int) {
+		tag, ok := d.(string)
+		if !ok {
+			panic(fmt.Sprintf("core: PhiTaggedOmegaF on %T, want string", d))
+		}
+		l, err := fd.UntagSet(tag)
+		if err != nil {
+			panic(fmt.Sprintf("core: PhiTaggedOmegaF: %v", err))
+		}
+		return l.Complement(n), 0
+	}
+}
+
+// PhiOmegaSlack is a deliberately conservative variant of PhiOmega with
+// w(σ) = slack > 0: the non-sample σ is prefixed by slack full batches in
+// which every process (including ℓ) takes steps observing ℓ before Π−{ℓ}
+// runs alone forever. Such a σ is still not a sample — the tail argument is
+// unchanged — and the positive w exercises Figure 3's batch-counting path
+// (line 15) rather than the immediate-exit path.
+func PhiOmegaSlack(n, slack int) Phi {
+	if slack < 0 {
+		panic(fmt.Sprintf("core: PhiOmegaSlack slack=%d", slack))
+	}
+	return func(d any) (sim.Set, int) {
+		l, ok := d.(sim.PID)
+		if !ok {
+			panic(fmt.Sprintf("core: PhiOmegaSlack on %T, want sim.PID", d))
+		}
+		return sim.SetOf(l).Complement(n), slack
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+
+	"weakestfd/internal/converge"
+	"weakestfd/internal/sim"
+	"weakestfd/internal/trace"
+)
+
+// White-box step-profile tests: the paper's pseudocode prescribes which
+// kinds of atomic operations each protocol performs; the trace recorder
+// verifies the implementations take exactly those step classes.
+
+func TestFig1StepProfile(t *testing.T) {
+	n := 4
+	pattern := sim.FailFree(n)
+	// Worst-case noise forces multiple rounds, exercising all step classes.
+	h := Upsilon(n).HistoryWorstCase(pattern, 300, 1)
+	g := NewFig1(n, h, converge.UseAtomic)
+	bodies := make([]sim.Body, n)
+	for i := range bodies {
+		bodies[i] = g.Body(sim.Value(100 + i))
+	}
+	rec := trace.NewRecorder(nil)
+	if _, err := sim.Run(sim.Config{
+		Pattern: pattern, Schedule: sim.RoundRobin(), Budget: 1 << 21,
+		Tracer: rec.Hook(),
+	}, bodies); err != nil {
+		t.Fatal(err)
+	}
+	s := rec.Summarize()
+	// The protocol's vocabulary, per Figure 1: decision register reads and
+	// writes, Υ queries, round registers, converge snapshot ops.
+	for _, class := range []string{
+		"read D", "write D", "query",
+		"read D[·]", "write D[·]", "read Stable[·]",
+		"update nconv[·][·]/·.A", "scan nconv[·][·]/·.B",
+		"update gconv[·][·]/·.A",
+	} {
+		if s.ByClass[class] == 0 {
+			t.Errorf("no %q steps recorded; classes: %v", class, s.ByClass)
+		}
+	}
+	// No foreign step classes: everything must be one of the protocol's.
+	allowed := map[string]bool{
+		"read D": true, "write D": true, "query": true,
+		"read D[·]": true, "write D[·]": true,
+		"read Stable[·]": true, "write Stable[·]": true,
+		"update nconv[·][·]/·.A": true, "scan nconv[·][·]/·.A": true,
+		"update nconv[·][·]/·.B": true, "scan nconv[·][·]/·.B": true,
+		"update gconv[·][·]/·.A": true, "scan gconv[·][·]/·.A": true,
+		"update gconv[·][·]/·.B": true, "scan gconv[·][·]/·.B": true,
+	}
+	for class := range s.ByClass {
+		if !allowed[class] {
+			t.Errorf("unexpected step class %q", class)
+		}
+	}
+}
+
+func TestFig2StepProfile(t *testing.T) {
+	// Figure 2 adds the A[r][k] snapshot batching to the vocabulary.
+	n, f := 5, 2
+	pattern := sim.CrashPattern(n, map[sim.PID]sim.Time{0: 30, 1: 50})
+	u := sim.SetOf(0, 2, 3, 4) // all correct + one faulty: gladiator path
+	h := UpsilonF(n, f).HistoryWithStable(pattern, 0, 1, u)
+	g := NewFig2(n, f, h, converge.UseAtomic)
+	bodies := make([]sim.Body, n)
+	for i := range bodies {
+		bodies[i] = g.Body(sim.Value(100 + i))
+	}
+	rec := trace.NewRecorder(nil)
+	if _, err := sim.Run(sim.Config{
+		Pattern: pattern, Schedule: sim.RoundRobin(), Budget: 1 << 21,
+		Tracer: rec.Hook(),
+	}, bodies); err != nil {
+		t.Fatal(err)
+	}
+	s := rec.Summarize()
+	for _, class := range []string{"update A[·][·]/·", "scan A[·][·]/·", "query", "write D"} {
+		if s.ByClass[class] == 0 {
+			t.Errorf("no %q steps recorded; classes: %v", class, s.ByClass)
+		}
+	}
+}
+
+func TestExtractionStepProfile(t *testing.T) {
+	// Figure 3's vocabulary: D queries, R[i] publications, report reads,
+	// Changed/Exited flags, output writes.
+	n := 3
+	pattern := sim.FailFree(n)
+	ex := NewExtraction(n, constPIDOracle{}, PhiOmega(n))
+	bodies := make([]sim.Body, n)
+	for i := range bodies {
+		bodies[i] = ex.Body()
+	}
+	rec := trace.NewRecorder(nil)
+	rep, _ := sim.Run(sim.Config{
+		Pattern: pattern, Schedule: sim.RoundRobin(), Budget: 5_000,
+		Tracer: rec.Hook(),
+	}, bodies)
+	if !rep.BudgetExhausted {
+		t.Fatal("extraction should run to budget")
+	}
+	s := rec.Summarize()
+	for _, class := range []string{
+		"query", "write R[·]", "read R[·]",
+		"read Changed[·]", "write Υf-output[·]",
+	} {
+		if s.ByClass[class] == 0 {
+			t.Errorf("no %q steps recorded; classes: %v", class, s.ByClass)
+		}
+	}
+}
+
+// constPIDOracle is a trivially stable Ω-range oracle for profile tests.
+type constPIDOracle struct{}
+
+func (constPIDOracle) Value(sim.PID, sim.Time) any { return sim.PID(0) }

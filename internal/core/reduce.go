@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+
+	"weakestfd/internal/fd"
+	"weakestfd/internal/memory"
+	"weakestfd/internal/sim"
+)
+
+// This file implements the explicit reductions of Sections 4 and 5.3:
+// Ω → Υ and Υ → Ω for two processes (where the two detectors are
+// equivalent), and the Υ¹ → Ω extraction in the environment E_1, which uses
+// shared heartbeat registers.
+
+// ComplementOfOmega builds the local reduction Ω → Υ: every process outputs
+// Π minus its Ω leader. Eventually the leader is the same correct process ℓ
+// everywhere, and Π−{ℓ} misses a correct process, so it cannot be the
+// correct set. For two processes this is the paper's Section 4 equivalence
+// direction Ω ⇒ Υ; it is legal for every n.
+func ComplementOfOmega(omega sim.Oracle, n int) sim.Oracle {
+	return fd.FuncOracle(func(p sim.PID, t sim.Time) any {
+		l, ok := omega.Value(p, t).(sim.PID)
+		if !ok {
+			panic(fmt.Sprintf("core: Ω output has type %T, want sim.PID", omega.Value(p, t)))
+		}
+		return sim.SetOf(l).Complement(n)
+	})
+}
+
+// OmegaFromUpsilon2 builds the local two-process reduction Υ → Ω (Section
+// 4): a process outputs the complement of the Υ output when that output is a
+// singleton, and its own identifier otherwise. With two processes, Υ's
+// eventual output U ≠ correct leaves only two cases: U = {q} means the other
+// process is correct (so elect it); U = {p1, p2} means exactly one process
+// is correct (so the one correct process electing itself is a stable correct
+// leader at every correct process).
+func OmegaFromUpsilon2(upsilon sim.Oracle) sim.Oracle {
+	return fd.FuncOracle(func(p sim.PID, t sim.Time) any {
+		u, ok := upsilon.Value(p, t).(sim.Set)
+		if !ok {
+			panic(fmt.Sprintf("core: Υ output has type %T, want sim.Set", upsilon.Value(p, t)))
+		}
+		if u.Len() == 1 {
+			return u.Complement(2).Min()
+		}
+		return p
+	})
+}
+
+// Upsilon1ToOmega is the Section 5.3 extraction of Ω = Ω¹ from Υ¹ in the
+// environment E_1 (at most one crash). Every process periodically writes an
+// ever-growing timestamp; when Υ¹ outputs a proper subset U (size n), the
+// elected leader is the single process Π−U, which must be correct (were it
+// faulty, correct ⊆ U with |correct| ≥ n = |U| would force U = correct);
+// when Υ¹ outputs Π, exactly one process is faulty, its timestamp freezes,
+// and the leader is the smallest id among the n processes with the highest
+// timestamps.
+//
+// The emulated Ω output is published per process in the returned array.
+type Upsilon1ToOmega struct {
+	n       int
+	upsilon sim.Oracle
+	hb      *memory.Array[int64]
+	out     *memory.Array[memory.Opt[sim.PID]]
+}
+
+// NewUpsilon1ToOmega builds the shared state of one reduction run.
+func NewUpsilon1ToOmega(n int, upsilon sim.Oracle) *Upsilon1ToOmega {
+	if n < 2 {
+		panic(fmt.Sprintf("core: Upsilon1ToOmega needs n ≥ 2, got %d", n))
+	}
+	return &Upsilon1ToOmega{
+		n:       n,
+		upsilon: upsilon,
+		hb:      memory.NewArray[int64]("HB", n),
+		out:     memory.NewArray[memory.Opt[sim.PID]]("Ω-output", n),
+	}
+}
+
+// OutputAt returns process i's current emulated Ω output; for inspection
+// between steps only.
+func (u *Upsilon1ToOmega) OutputAt(i sim.PID) memory.Opt[sim.PID] { return u.out.At(i).Inspect() }
+
+// Body returns the reduction automaton for one process; it never returns.
+func (u *Upsilon1ToOmega) Body() sim.Body {
+	return func(p *sim.Proc) (sim.Value, bool) {
+		me := p.ID()
+		ts := int64(0)
+		for {
+			ts++
+			u.hb.Write(p, me, ts)
+			set := fd.Query[sim.Set](p, u.upsilon)
+			var leader sim.PID
+			if set.Len() < u.n {
+				leader = set.Complement(u.n).Min()
+			} else {
+				beats := u.hb.Collect(p)
+				leader = freshest(beats, u.n-1).Min()
+			}
+			u.out.Write(p, me, memory.Some(leader))
+		}
+	}
+}

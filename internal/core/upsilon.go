@@ -1,0 +1,169 @@
+// Package core implements the paper's primary contribution: the failure
+// detectors Υ and Υ^f (Sections 4 and 5.3), the set-agreement protocols that
+// use them (Figures 1 and 2), the generic extraction of Υ^f from any stable
+// f-non-trivial failure detector (Figure 3, Theorem 10), the complement
+// reductions of Section 4/5.3 and the adversary constructions of Theorems 1
+// and 5.
+package core
+
+import (
+	"fmt"
+
+	"weakestfd/internal/fd"
+	"weakestfd/internal/sim"
+)
+
+// UpsilonSpec describes the Υ^f family. For every failure pattern in E_f
+// (at most f crashes), a history is legal iff eventually:
+//
+//  1. the same set U, with |U| ≥ n+1−f, is permanently output at all correct
+//     processes, and
+//  2. U is not the set of correct processes of the run.
+//
+// Υ itself is Υ^n (the wait-free case, where the only size constraint is
+// U ≠ ∅).
+type UpsilonSpec struct {
+	// N is the number of processes (the paper's n+1).
+	N int
+	// F is the resilience parameter; histories output sets of size at least
+	// N−F. F = N−1 gives Υ (sets of size ≥ 1).
+	F int
+}
+
+// Upsilon returns the Υ specification for n processes (f = n−1 in our
+// 0-based size convention: sets of size ≥ 1).
+func Upsilon(n int) UpsilonSpec { return UpsilonSpec{N: n, F: n - 1} }
+
+// UpsilonF returns the Υ^f specification for n processes and resilience f.
+func UpsilonF(n, f int) UpsilonSpec {
+	if f < 1 || f >= n {
+		panic(fmt.Sprintf("core: UpsilonF f=%d out of range for n=%d", f, n))
+	}
+	return UpsilonSpec{N: n, F: f}
+}
+
+// MinSize returns the minimum legal output-set size, n+1−f in paper terms.
+func (s UpsilonSpec) MinSize() int { return s.N - s.F }
+
+// LegalStable reports whether U is a legal eventual output for pattern f:
+// non-empty, of size ≥ MinSize, and different from correct(F).
+func (s UpsilonSpec) LegalStable(f sim.Pattern, u sim.Set) error {
+	if u.IsEmpty() {
+		return fmt.Errorf("Υ^f output must be non-empty")
+	}
+	if u.Len() < s.MinSize() {
+		return fmt.Errorf("Υ^f output %v has size %d < n+1−f = %d", u, u.Len(), s.MinSize())
+	}
+	if !u.SubsetOf(sim.FullSet(s.N)) {
+		return fmt.Errorf("Υ^f output %v not a subset of Π", u)
+	}
+	if u == f.Correct() {
+		return fmt.Errorf("Υ^f output %v equals the correct set", u)
+	}
+	return nil
+}
+
+// Legal returns the legality predicate for use with fd.CheckStable.
+func (s UpsilonSpec) Legal(f sim.Pattern) func(any) error {
+	return func(v any) error {
+		u, ok := v.(sim.Set)
+		if !ok {
+			return fmt.Errorf("Υ^f output has type %T, want sim.Set", v)
+		}
+		return s.LegalStable(f, u)
+	}
+}
+
+// History returns a legal Υ^f history for pattern f: seeded noise (arbitrary
+// sets of legal size, possibly different at different processes) strictly
+// before ts, and a fixed legal stable set from ts on. The stable set is
+// chosen from the seed among all legal candidates, so experiment sweeps
+// cover the spec's behaviour space, including stable sets that contain no
+// correct process at all and stable sets that contain all of them.
+func (s UpsilonSpec) History(f sim.Pattern, ts sim.Time, seed int64) sim.Oracle {
+	stable := s.StableChoice(f, seed)
+	return s.HistoryWithStable(f, ts, seed, stable)
+}
+
+// HistoryWithStable is History with an explicitly chosen stable set, which
+// must be legal for f.
+func (s UpsilonSpec) HistoryWithStable(f sim.Pattern, ts sim.Time, seed int64, stable sim.Set) sim.Oracle {
+	if err := s.LegalStable(f, stable); err != nil {
+		panic(fmt.Sprintf("core: illegal Υ^f stable set: %v", err))
+	}
+	n := s.N
+	minSize := s.MinSize()
+	return &fd.Stabilizing[sim.Set]{
+		TS:     ts,
+		Stable: stable,
+		Noise: func(p sim.PID, t sim.Time) sim.Set {
+			size := minSize + int(fd.Mix(seed+2, p, t)%uint64(n-minSize+1))
+			return fd.NoiseSetOfSize(seed, n, size, p, t)
+		},
+	}
+}
+
+// HistoryWorstCase returns a legal Υ^f history whose pre-stabilization
+// output is the single most unhelpful value: correct(F) itself, at every
+// process. The specification only constrains the *eventual* output, so this
+// is a legal history — and under lockstep schedules it pins Figure 1/2 in
+// their gladiator loops until ts, making decision latency track the
+// detector's stabilization time exactly (used by the E10 ablation).
+func (s UpsilonSpec) HistoryWorstCase(f sim.Pattern, ts sim.Time, seed int64) sim.Oracle {
+	noise := f.Correct()
+	if noise.Len() < s.MinSize() {
+		// Pad with faulty processes to respect the range constraint; the
+		// padded set is still maximally unhelpful (all correct inside).
+		for _, p := range f.Faulty().Members() {
+			if noise.Len() >= s.MinSize() {
+				break
+			}
+			noise = noise.Add(p)
+		}
+	}
+	return &fd.Stabilizing[sim.Set]{
+		TS:     ts,
+		Stable: s.StableChoice(f, seed),
+		Noise: func(sim.PID, sim.Time) sim.Set {
+			return noise
+		},
+	}
+}
+
+// StableChoice deterministically picks a legal stable set for pattern f from
+// the seed. Legal candidates are plentiful — of the C(n, ≥minSize) subsets,
+// only correct(F) itself is excluded — reflecting how little information Υ^f
+// carries.
+func (s UpsilonSpec) StableChoice(f sim.Pattern, seed int64) sim.Set {
+	n := s.N
+	for i := 0; ; i++ {
+		size := s.MinSize() + int(fd.Mix(seed, sim.PID(i%n), sim.Time(i))%uint64(n-s.MinSize()+1))
+		u := fd.NoiseSetOfSize(seed+int64(i)*7919, n, size, 0, sim.Time(i))
+		if s.LegalStable(f, u) == nil {
+			return u
+		}
+	}
+}
+
+// ComplementOfOmegaF builds the Section 4 / Section 5.3 reduction Ω^f → Υ^f
+// as a history transformer: every process outputs the complement of its Ω^f
+// module's output. The eventual Ω^f set has size f and contains a correct
+// process, so its complement has size n+1−f and is missing a correct
+// process, hence cannot be the correct set — a legal Υ^f output. No shared
+// memory is needed; the reduction is local.
+func ComplementOfOmegaF(omegaF sim.Oracle, n int) sim.Oracle {
+	return fd.FuncOracle(func(p sim.PID, t sim.Time) any {
+		s, ok := omegaF.Value(p, t).(sim.Set)
+		if !ok {
+			panic(fmt.Sprintf("core: Ω^f output has type %T, want sim.Set", omegaF.Value(p, t)))
+		}
+		c := s.Complement(n)
+		if c.IsEmpty() {
+			// Ω^n output Π (only possible pre-stabilization for size < n
+			// detectors; impossible for size-n output): fall back to a
+			// fixed non-empty set, legal during the arbitrary period.
+			return sim.SetOf(0)
+		}
+		return c
+	})
+}

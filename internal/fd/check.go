@@ -1,0 +1,110 @@
+package fd
+
+import (
+	"fmt"
+	"reflect"
+
+	"weakestfd/internal/sim"
+)
+
+// CheckStable verifies over [0, horizon] that oracle h eventually outputs,
+// permanently and identically at every correct process of f, a single value,
+// and that this stable value satisfies legal. It returns the stable value
+// and the earliest time from which the output was stable.
+//
+// This is the executable form of the paper's stability definition (Section
+// 6.2): ∃d, t such that ∀t' ≥ t and correct p, H(p, t') = d. A finite
+// horizon cannot verify "permanently"; callers pick horizons comfortably
+// beyond the history's stabilization time, which is exact for the histories
+// this package constructs.
+func CheckStable(h sim.Oracle, f sim.Pattern, horizon sim.Time, legal func(stable any) error) (any, sim.Time, error) {
+	correct := f.Correct().Members()
+	if len(correct) == 0 {
+		return nil, 0, fmt.Errorf("fd: pattern %v has no correct process", f)
+	}
+	// The candidate stable value is the last value at the first correct
+	// process; scan backwards to find the stabilization point.
+	ref := h.Value(correct[0], horizon)
+	stableFrom := horizon
+	for t := horizon; t >= 0; t-- {
+		ok := true
+		for _, p := range correct {
+			if !reflect.DeepEqual(h.Value(p, t), ref) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			break
+		}
+		stableFrom = t
+	}
+	if stableFrom == horizon {
+		// Stability must hold on a non-trivial suffix to be meaningful.
+		for _, p := range correct {
+			if !reflect.DeepEqual(h.Value(p, horizon), ref) {
+				return nil, 0, fmt.Errorf("fd: no common value at horizon %d", horizon)
+			}
+		}
+	}
+	if legal != nil {
+		if err := legal(ref); err != nil {
+			return ref, stableFrom, fmt.Errorf("fd: stable value %v illegal: %w", ref, err)
+		}
+	}
+	return ref, stableFrom, nil
+}
+
+// OmegaLegal returns a legality predicate for Ω over pattern f: the stable
+// value must be a correct process.
+func OmegaLegal(f sim.Pattern) func(any) error {
+	return func(v any) error {
+		p, ok := v.(sim.PID)
+		if !ok {
+			return fmt.Errorf("Ω output has type %T, want sim.PID", v)
+		}
+		if !f.Correct().Has(p) {
+			return fmt.Errorf("Ω stable leader %v is faulty (correct=%v)", p, f.Correct())
+		}
+		return nil
+	}
+}
+
+// OmegaFLegal returns a legality predicate for Ω^f over pattern f: the
+// stable value must be a set of exactly size processes containing at least
+// one correct process.
+func OmegaFLegal(f sim.Pattern, size int) func(any) error {
+	return func(v any) error {
+		s, ok := v.(sim.Set)
+		if !ok {
+			return fmt.Errorf("Ω^f output has type %T, want sim.Set", v)
+		}
+		if s.Len() != size {
+			return fmt.Errorf("Ω^f stable set %v has size %d, want %d", s, s.Len(), size)
+		}
+		if s.Intersect(f.Correct()).IsEmpty() {
+			return fmt.Errorf("Ω^f stable set %v contains no correct process (correct=%v)", s, f.Correct())
+		}
+		return nil
+	}
+}
+
+// CheckAntiOmega verifies over [from, horizon] that some correct process of
+// f is never output by h at any correct process — the executable form of the
+// anti-Ω specification on a finite suffix.
+func CheckAntiOmega(h sim.Oracle, f sim.Pattern, from, horizon sim.Time) error {
+	outputs := sim.EmptySet
+	for t := from; t <= horizon; t++ {
+		for _, p := range f.Correct().Members() {
+			v, ok := h.Value(p, t).(sim.PID)
+			if !ok {
+				return fmt.Errorf("anti-Ω output has type %T, want sim.PID", h.Value(p, t))
+			}
+			outputs = outputs.Add(v)
+		}
+	}
+	if f.Correct().SubsetOf(outputs) {
+		return fmt.Errorf("anti-Ω output every correct process in [%d,%d]", from, horizon)
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package fd
+
+import (
+	"fmt"
+
+	"weakestfd/internal/sim"
+)
+
+// NewOmega returns an Ω history for pattern F: after ts the same correct
+// leader is permanently output at every process; before ts the output is
+// seeded noise. Ω is the weakest failure detector to solve consensus
+// (Chandra–Hadzilacos–Toueg, the paper's [3]); its range is a single PID.
+func NewOmega(f sim.Pattern, ts sim.Time, seed int64) sim.Oracle {
+	leader := pickCorrect(f, seed)
+	return &Stabilizing[sim.PID]{
+		TS:     ts,
+		Stable: leader,
+		Noise: func(p sim.PID, t sim.Time) sim.PID {
+			return NoisePID(seed, f.N(), p, t)
+		},
+	}
+}
+
+// NewOmegaF returns an Ω^f history for pattern F (Neiger's Ωk family, the
+// paper's [18]): it outputs a set of exactly f processes such that
+// eventually the same set, containing at least one correct process, is
+// permanently output at all correct processes. Ω^n is the paper's Ωn and
+// Ω^1 is (equivalent to) Ω.
+func NewOmegaF(f sim.Pattern, size int, ts sim.Time, seed int64) sim.Oracle {
+	n := f.N()
+	if size < 1 || size > n {
+		panic(fmt.Sprintf("fd: Omega^f size %d out of range for n=%d", size, n))
+	}
+	stable := omegaFStableSet(f, size, seed)
+	return &Stabilizing[sim.Set]{
+		TS:     ts,
+		Stable: stable,
+		Noise: func(p sim.PID, t sim.Time) sim.Set {
+			return NoiseSetOfSize(seed, n, size, p, t)
+		},
+	}
+}
+
+// omegaFStableSet picks a legal stable value for Ω^f: a set of exactly size
+// processes that contains at least one correct process. The choice is
+// seed-dependent so experiments cover different legal histories.
+func omegaFStableSet(f sim.Pattern, size int, seed int64) sim.Set {
+	n := f.N()
+	leader := pickCorrect(f, seed)
+	s := sim.SetOf(leader)
+	// Fill the remaining slots deterministically from the seed, preferring
+	// faulty processes first (the adversarially least helpful choice).
+	perm := noisePerm(seed+1, n, 0, 0)
+	for _, class := range []bool{true, false} { // faulty first, then correct
+		for _, i := range perm {
+			if s.Len() == size {
+				return s
+			}
+			p := sim.PID(i)
+			if s.Has(p) {
+				continue
+			}
+			if f.Correct().Has(p) != class {
+				s = s.Add(p)
+			}
+		}
+	}
+	if s.Len() != size {
+		panic("fd: could not build Omega^f stable set")
+	}
+	return s
+}
+
+// NewStableEvPerfect returns a stable eventually-perfect history: after ts
+// every process permanently outputs exactly faulty(F). It is a stable,
+// highly informative detector — the strongest detector used in the Figure 3
+// extraction experiments. Its range is a process set (the suspected set).
+func NewStableEvPerfect(f sim.Pattern, ts sim.Time, seed int64) sim.Oracle {
+	return &Stabilizing[sim.Set]{
+		TS:     ts,
+		Stable: f.Faulty(),
+		Noise: func(p sim.PID, t sim.Time) sim.Set {
+			return NoiseSet(seed, f.N(), p, t) // arbitrary suspicion noise
+		},
+	}
+}
+
+// NewAntiOmega returns an anti-Ω history (Zielinski, the paper's [22,23]):
+// the output is a single process id, and there is a correct process that is
+// eventually never output. anti-Ω is unstable — its output may change
+// forever — which is why it falls outside the paper's minimality class; it
+// is included for the related-work comparisons.
+func NewAntiOmega(f sim.Pattern, ts sim.Time, seed int64) sim.Oracle {
+	n := f.N()
+	safe := pickCorrect(f, seed) // the correct process never output after ts
+	return FuncOracle(func(p sim.PID, t sim.Time) any {
+		if t < ts {
+			return NoisePID(seed, n, p, t)
+		}
+		q := NoisePID(seed+1, n, p, t)
+		if q == safe {
+			q = sim.PID((int(q) + 1) % n)
+		}
+		return q
+	})
+}
+
+// pickCorrect deterministically picks a correct process of F from the seed.
+func pickCorrect(f sim.Pattern, seed int64) sim.PID {
+	members := f.Correct().Members()
+	if len(members) == 0 {
+		panic("fd: pattern has no correct process")
+	}
+	return members[Mix(seed, 0, 0)%uint64(len(members))]
+}

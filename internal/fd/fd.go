@@ -1,0 +1,127 @@
+// Package fd provides the failure detector framework of the paper's model
+// (Section 3.2) — oracles as functions from (process, time) to an output
+// range — together with the classical detectors the paper compares against:
+// Ω (Chandra–Hadzilacos–Toueg), Ωn and its f-resilient family Ω^f (Neiger),
+// a stable eventually-perfect detector, anti-Ω (Zielinski) and the dummy
+// detector used to define triviality.
+//
+// A detector specification maps each failure pattern to a set of allowed
+// histories. This package realizes specifications as concrete histories: an
+// arbitrary (seeded, deterministic) output before a stabilization time, and
+// a spec-compliant stable output afterwards — which is exactly the behaviour
+// space the specifications allow — and provides checkers that verify
+// compliance of any oracle over a finite horizon.
+package fd
+
+import (
+	"fmt"
+
+	"weakestfd/internal/sim"
+)
+
+// Query queries oracle h as process p (one atomic step) and asserts the
+// output type, panicking on a range mismatch — querying a detector at the
+// wrong type is an algorithm bug.
+func Query[T any](p *sim.Proc, h sim.Oracle) T {
+	v := p.Query(h)
+	out, ok := v.(T)
+	if !ok {
+		panic(fmt.Sprintf("fd: oracle output %T, algorithm expected %T", v, out))
+	}
+	return out
+}
+
+// Stabilizing is an oracle that outputs Noise(p, t) strictly before time TS
+// and Stable from TS on, at every process. It realizes the ubiquitous
+// "eventually the same value is permanently output at all correct processes"
+// shape: before TS anything goes; after TS the history is stable in the
+// paper's Section 6.2 sense.
+type Stabilizing[T any] struct {
+	// TS is the stabilization time; 0 makes the history stable from the
+	// start.
+	TS sim.Time
+	// Stable is the permanent output from TS on.
+	Stable T
+	// Noise produces the pre-stabilization output; nil means Stable is
+	// output from the start regardless of TS.
+	Noise func(p sim.PID, t sim.Time) T
+}
+
+// Value implements sim.Oracle.
+func (s *Stabilizing[T]) Value(p sim.PID, t sim.Time) any {
+	if t < s.TS && s.Noise != nil {
+		return s.Noise(p, t)
+	}
+	return s.Stable
+}
+
+var _ sim.Oracle = (*Stabilizing[int])(nil)
+
+// Constant returns an oracle that outputs v at every process forever — the
+// paper's "dummy" failure detector I_d, implementable in any asynchronous
+// system and hence providing no failure information.
+func Constant[T any](v T) sim.Oracle {
+	return &Stabilizing[T]{Stable: v}
+}
+
+// FuncOracle adapts a function to sim.Oracle.
+type FuncOracle func(p sim.PID, t sim.Time) any
+
+// Value implements sim.Oracle.
+func (f FuncOracle) Value(p sim.PID, t sim.Time) any { return f(p, t) }
+
+var _ sim.Oracle = FuncOracle(nil)
+
+// Mix is a deterministic pseudo-random mixer (splitmix64): the noise source
+// for pre-stabilization detector output. It is a pure function, so histories
+// built on it are pure functions of (seed, p, t) and runs stay reproducible.
+func Mix(seed int64, p sim.PID, t sim.Time) uint64 {
+	x := uint64(seed) ^ uint64(p)*0x9e3779b97f4a7c15 ^ uint64(t)*0xbf58476d1ce4e5b9
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// NoisePID returns a pseudo-random process id in [0, n).
+func NoisePID(seed int64, n int, p sim.PID, t sim.Time) sim.PID {
+	return sim.PID(Mix(seed, p, t) % uint64(n))
+}
+
+// NoiseSet returns a pseudo-random non-empty subset of {0..n-1}.
+func NoiseSet(seed int64, n int, p sim.PID, t sim.Time) sim.Set {
+	m := Mix(seed, p, t)
+	s := sim.Set(m) & sim.FullSet(n)
+	if s.IsEmpty() {
+		return sim.SetOf(sim.PID(m % uint64(n)))
+	}
+	return s
+}
+
+// NoiseSetOfSize returns a pseudo-random subset of {0..n-1} with exactly k
+// members.
+func NoiseSetOfSize(seed int64, n, k int, p sim.PID, t sim.Time) sim.Set {
+	if k < 0 || k > n {
+		panic(fmt.Sprintf("fd: NoiseSetOfSize k=%d n=%d", k, n))
+	}
+	perm := noisePerm(seed, n, p, t)
+	var s sim.Set
+	for i := 0; i < k; i++ {
+		s = s.Add(sim.PID(perm[i]))
+	}
+	return s
+}
+
+func noisePerm(seed int64, n int, p sim.PID, t sim.Time) []int {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	m := Mix(seed, p, t)
+	for i := n - 1; i > 0; i-- {
+		j := int(m % uint64(i+1))
+		m = Mix(int64(m), p, t)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm
+}

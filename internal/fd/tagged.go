@@ -1,0 +1,66 @@
+package fd
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"weakestfd/internal/sim"
+)
+
+// The paper puts no restriction on failure detector ranges ("we do not
+// restrict possible ranges of failure detectors", Section 3.2), and the
+// Figure 3 reduction must work for any of them. NewTaggedOmegaF realizes an
+// Ω^f-equivalent detector whose range is *opaque strings* of the form
+// "excl:p3+p5": eventually all correct processes permanently see the same
+// tag, whose encoded set of f processes contains at least one correct
+// process. Extraction tests use it to check that nothing in the pipeline
+// secretly assumes PID- or Set-valued oracles.
+
+// TagSet encodes a process set as an opaque detector tag.
+func TagSet(s sim.Set) string {
+	parts := make([]string, 0, s.Len())
+	for _, p := range s.Members() {
+		parts = append(parts, fmt.Sprintf("p%d", int(p)+1))
+	}
+	return "excl:" + strings.Join(parts, "+")
+}
+
+// UntagSet decodes a tag produced by TagSet.
+func UntagSet(tag string) (sim.Set, error) {
+	body, ok := strings.CutPrefix(tag, "excl:")
+	if !ok {
+		return 0, fmt.Errorf("fd: tag %q lacks excl: prefix", tag)
+	}
+	var s sim.Set
+	if body == "" {
+		return s, nil
+	}
+	for _, part := range strings.Split(body, "+") {
+		num, ok := strings.CutPrefix(part, "p")
+		if !ok {
+			return 0, fmt.Errorf("fd: bad tag element %q", part)
+		}
+		v, err := strconv.Atoi(num)
+		if err != nil || v < 1 {
+			return 0, fmt.Errorf("fd: bad tag element %q", part)
+		}
+		s = s.Add(sim.PID(v - 1))
+	}
+	return s, nil
+}
+
+// NewTaggedOmegaF returns an Ω^f history with a string range: before ts,
+// arbitrary (well-formed) tags; from ts on, the fixed tag of a legal Ω^f
+// set.
+func NewTaggedOmegaF(f sim.Pattern, size int, ts sim.Time, seed int64) sim.Oracle {
+	n := f.N()
+	stable := TagSet(omegaFStableSet(f, size, seed))
+	return &Stabilizing[string]{
+		TS:     ts,
+		Stable: stable,
+		Noise: func(p sim.PID, t sim.Time) string {
+			return TagSet(NoiseSetOfSize(seed, n, size, p, t))
+		},
+	}
+}

@@ -1,0 +1,133 @@
+package memory
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"weakestfd/internal/sim"
+)
+
+// ConsensusObject is an m-process consensus object: Propose is a one-step
+// atomic operation; the first proposed value wins and every Propose returns
+// it. Its consensus number is m — at most m *distinct* processes may ever
+// access one instance, and the object enforces that limit by panicking,
+// which turns any algorithmic misuse (the subtle bug the Ωn-boosting
+// literature is careful about) into an immediate test failure rather than a
+// silent power upgrade.
+//
+// These objects are the paper's Corollary 4 comparators: solving
+// (n+1)-process consensus from n-process consensus objects and registers
+// requires Ωn (Guerraoui–Kuznetsov, the paper's [13]), strictly more
+// failure information than the Υ that set agreement needs.
+type ConsensusObject struct {
+	name      string
+	limit     int
+	decided   Opt[sim.Value]
+	accessors sim.Set
+}
+
+// NewConsensusObject returns an m-process consensus object.
+func NewConsensusObject(name string, m int) *ConsensusObject {
+	if m < 1 {
+		panic(fmt.Sprintf("memory: consensus object limit %d", m))
+	}
+	return &ConsensusObject{name: name, limit: m}
+}
+
+// Limit returns m, the object's consensus number.
+func (c *ConsensusObject) Limit() int { return c.limit }
+
+// Propose submits v and returns the object's decision (the first value ever
+// proposed); one atomic step. It panics if more than m distinct processes
+// access the object.
+func (c *ConsensusObject) Propose(p *sim.Proc, v sim.Value) sim.Value {
+	var out sim.Value
+	p.Step("propose "+c.name, func() {
+		if !c.accessors.Has(p.ID()) {
+			c.accessors = c.accessors.Add(p.ID())
+			if c.accessors.Len() > c.limit {
+				panic(fmt.Sprintf("memory: %s is a %d-process consensus object; accessors %v exceed it",
+					c.name, c.limit, c.accessors))
+			}
+		}
+		if !c.decided.OK {
+			c.decided = Some(v)
+		}
+		out = c.decided.V
+	})
+	return out
+}
+
+// Accessors returns the set of processes that have accessed the object; for
+// post-run inspection only.
+func (c *ConsensusObject) Accessors() sim.Set { return c.accessors }
+
+// Decision returns the object's decision, if any; for inspection only.
+func (c *ConsensusObject) Decision() Opt[sim.Value] { return c.decided }
+
+// ConsFamily hands out consensus objects keyed by (round, accessor set), so
+// that processes with divergent detector views use distinct objects — each
+// within its own m-process access budget. Keying by the accessor set is the
+// standard trick of the Ωn-boosting algorithms: |L| = m guarantees the
+// object named by L is touched only by members of L.
+type ConsFamily struct {
+	name  string
+	limit int
+	mu    sync.Mutex
+	m     map[consKey]*ConsensusObject
+}
+
+type consKey struct {
+	r int
+	l sim.Set
+}
+
+// NewConsFamily builds a family of m-process consensus objects.
+func NewConsFamily(name string, m int) *ConsFamily {
+	return &ConsFamily{name: name, limit: m, m: make(map[consKey]*ConsensusObject)}
+}
+
+// At returns the object for round r and accessor set l (|l| must not exceed
+// the family's limit), creating it on first use; no simulation steps.
+func (f *ConsFamily) At(r int, l sim.Set) *ConsensusObject {
+	if l.Len() > f.limit {
+		panic(fmt.Sprintf("memory: accessor set %v exceeds %d-process consensus objects", l, f.limit))
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	key := consKey{r: r, l: l}
+	obj, ok := f.m[key]
+	if !ok {
+		obj = NewConsensusObject(fmt.Sprintf("%s[%d]%v", f.name, r, l), f.limit)
+		f.m[key] = obj
+	}
+	return obj
+}
+
+// AllAccessorsWithinLimit verifies, post-run, that no object of the family
+// was over-subscribed (defence in depth next to the per-object panic).
+func (f *ConsFamily) AllAccessorsWithinLimit() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	keys := make([]consKey, 0, len(f.m))
+	for k := range f.m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].r != keys[j].r {
+			return keys[i].r < keys[j].r
+		}
+		return keys[i].l < keys[j].l
+	})
+	for _, k := range keys {
+		obj := f.m[k]
+		if obj.Accessors().Len() > obj.Limit() {
+			return fmt.Errorf("memory: %s over-subscribed: %v", obj.name, obj.Accessors())
+		}
+		if !obj.Accessors().SubsetOf(k.l) {
+			return fmt.Errorf("memory: %s accessed by %v outside its key set %v", obj.name, obj.Accessors(), k.l)
+		}
+	}
+	return nil
+}

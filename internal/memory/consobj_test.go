@@ -1,0 +1,72 @@
+package memory
+
+import (
+	"testing"
+
+	"weakestfd/internal/sim"
+)
+
+func TestConsensusObjectFirstWins(t *testing.T) {
+	obj := NewConsensusObject("c", 3)
+	results := make([]sim.Value, 3)
+	bodies := make([]sim.Body, 3)
+	for i := range bodies {
+		me := sim.PID(i)
+		bodies[i] = func(p *sim.Proc) (sim.Value, bool) {
+			results[me] = obj.Propose(p, sim.Value(me)+100)
+			return results[me], true
+		}
+	}
+	// Priority: p2 proposes first.
+	if _, err := sim.Run(sim.Config{Pattern: sim.FailFree(3), Schedule: sim.Priority(1, 0, 2)},
+		bodies); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range results {
+		if v != 101 {
+			t.Fatalf("p%d got %d, want first proposal 101", i+1, v)
+		}
+	}
+	if d := obj.Decision(); !d.OK || d.V != 101 {
+		t.Fatalf("decision %+v", d)
+	}
+	if obj.Limit() != 3 {
+		t.Fatalf("limit %d", obj.Limit())
+	}
+}
+
+func TestConsensusObjectRepeatAccessor(t *testing.T) {
+	// The same process proposing repeatedly counts once against the limit.
+	obj := NewConsensusObject("c", 1)
+	body := func(p *sim.Proc) (sim.Value, bool) {
+		a := obj.Propose(p, 5)
+		b := obj.Propose(p, 9)
+		if a != 5 || b != 5 {
+			t.Errorf("got %d/%d", a, b)
+		}
+		return a, true
+	}
+	if _, err := sim.Run(sim.Config{Pattern: sim.FailFree(1), Schedule: sim.RoundRobin()},
+		[]sim.Body{body}); err != nil {
+		t.Fatal(err)
+	}
+	if obj.Accessors() != sim.SetOf(0) {
+		t.Fatalf("accessors %v", obj.Accessors())
+	}
+}
+
+func TestConsensusObjectValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for limit 0")
+		}
+	}()
+	NewConsensusObject("c", 0)
+}
+
+func TestConsFamilyWithinLimitEmpty(t *testing.T) {
+	fam := NewConsFamily("c", 2)
+	if err := fam.AllAccessorsWithinLimit(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,299 @@
+package memory
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"weakestfd/internal/sim"
+)
+
+func TestRegisterReadWrite(t *testing.T) {
+	reg := NewRegister[int]("r")
+	body := func(p *sim.Proc) (sim.Value, bool) {
+		if got := reg.Read(p); got != 0 {
+			t.Errorf("initial read = %d", got)
+		}
+		reg.Write(p, 7)
+		return sim.Value(reg.Read(p)), true
+	}
+	rep, err := sim.Run(sim.Config{Pattern: sim.FailFree(1), Schedule: sim.RoundRobin()},
+		[]sim.Body{body})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Decided[0] != 7 {
+		t.Errorf("read back %v", rep.Decided[0])
+	}
+	if rep.Steps != 3 {
+		t.Errorf("3 register ops cost %d steps", rep.Steps)
+	}
+	if reg.Inspect() != 7 {
+		t.Errorf("Inspect = %d", reg.Inspect())
+	}
+}
+
+func TestRegisterOpt(t *testing.T) {
+	if Some(3) != (Opt[int]{V: 3, OK: true}) {
+		t.Errorf("Some wrong")
+	}
+	if None[int]() != (Opt[int]{}) {
+		t.Errorf("None wrong")
+	}
+}
+
+func TestArrayCollect(t *testing.T) {
+	arr := NewArray[int]("a", 3)
+	body := func(p *sim.Proc) (sim.Value, bool) {
+		arr.Write(p, p.ID(), int(p.ID())+10)
+		vals := arr.Collect(p)
+		sum := 0
+		for _, v := range vals {
+			sum += v
+		}
+		return sim.Value(sum), true
+	}
+	rep, err := sim.Run(sim.Config{Pattern: sim.FailFree(3), Schedule: sim.RoundRobin()},
+		[]sim.Body{body, body, body})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-robin: all three write before anyone collects, so each collect
+	// sees 10+11+12.
+	for p, v := range rep.Decided {
+		if v != 33 {
+			t.Errorf("%v collected sum %d, want 33", p, v)
+		}
+	}
+	if got := arr.Inspect(); got[0] != 10 || got[1] != 11 || got[2] != 12 {
+		t.Errorf("Inspect = %v", got)
+	}
+	if arr.N() != 3 {
+		t.Errorf("N = %d", arr.N())
+	}
+	if arr.At(1).Inspect() != 11 {
+		t.Errorf("At(1) = %d", arr.At(1).Inspect())
+	}
+}
+
+// snapshotFactories enumerates the two implementations under test.
+func snapshotFactories() map[string]SnapshotFactory[sim.Value] {
+	return map[string]SnapshotFactory[sim.Value]{
+		"atomic": NewAtomicSnapshot[sim.Value],
+		"afek":   NewAfekSnapshot[sim.Value],
+	}
+}
+
+func TestSnapshotUpdateScan(t *testing.T) {
+	for name, factory := range snapshotFactories() {
+		t.Run(name, func(t *testing.T) {
+			snap := factory("s", 2)
+			body := func(p *sim.Proc) (sim.Value, bool) {
+				snap.Update(p, p.ID(), sim.Value(p.ID())+100)
+				scan := snap.Scan(p)
+				own := scan[p.ID()]
+				if !own.OK || own.V != sim.Value(p.ID())+100 {
+					t.Errorf("%v: own update not visible in own scan: %v", p.ID(), scan)
+				}
+				return sim.Value(CountSome(scan)), true
+			}
+			rep, err := sim.Run(sim.Config{Pattern: sim.FailFree(2), Schedule: sim.NewRandom(3)},
+				[]sim.Body{body, body})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for p, v := range rep.Decided {
+				if v < 1 || v > 2 {
+					t.Errorf("%v saw %d entries", p, v)
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotContainment drives many interleaved update/scan workloads and
+// verifies the defining property of atomic snapshots: all scans are related
+// by containment on sequence numbers (a scan that sees process j's k-th
+// update is ≥, positionwise, any scan that doesn't).
+func TestSnapshotContainment(t *testing.T) {
+	for name, factory := range snapshotFactories() {
+		for seed := int64(0); seed < 20; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", name, seed), func(t *testing.T) {
+				n := 4
+				snap := factory("s", n)
+				type scanRec struct {
+					vals []Opt[sim.Value]
+				}
+				var scans []scanRec
+				bodies := make([]sim.Body, n)
+				for i := range bodies {
+					me := sim.PID(i)
+					bodies[i] = func(p *sim.Proc) (sim.Value, bool) {
+						for k := 0; k < 6; k++ {
+							// Values encode (pid, iteration) so containment is
+							// checkable: later values are strictly larger.
+							snap.Update(p, me, sim.Value(int(me)*1000+k))
+							scans = append(scans, scanRec{vals: snap.Scan(p)})
+						}
+						return 0, true
+					}
+				}
+				if _, err := sim.Run(sim.Config{Pattern: sim.FailFree(n), Schedule: sim.NewRandom(seed)}, bodies); err != nil {
+					t.Fatal(err)
+				}
+				// Pairwise containment: for each pair of scans, one must
+				// dominate the other positionwise.
+				dominates := func(a, b []Opt[sim.Value]) bool {
+					for j := range a {
+						if b[j].OK && (!a[j].OK || a[j].V < b[j].V) {
+							return false
+						}
+					}
+					return true
+				}
+				for x := range scans {
+					for y := range scans {
+						if !dominates(scans[x].vals, scans[y].vals) && !dominates(scans[y].vals, scans[x].vals) {
+							t.Fatalf("scans %d and %d incomparable:\n%v\n%v",
+								x, y, ScanString(scans[x].vals), ScanString(scans[y].vals))
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSnapshotRegularity: a scan must reflect every update that completed
+// before it started (no lost updates), for both implementations.
+func TestSnapshotRegularity(t *testing.T) {
+	for name, factory := range snapshotFactories() {
+		t.Run(name, func(t *testing.T) {
+			n := 3
+			snap := factory("s", n)
+			writer := func(p *sim.Proc) (sim.Value, bool) {
+				snap.Update(p, p.ID(), 9)
+				return 0, true
+			}
+			reader := func(p *sim.Proc) (sim.Value, bool) {
+				// Priority schedule runs writers to completion first.
+				scan := snap.Scan(p)
+				return sim.Value(CountSome(scan)), true
+			}
+			rep, err := sim.Run(sim.Config{
+				Pattern:  sim.FailFree(n),
+				Schedule: sim.Priority(0, 1, 2),
+			}, []sim.Body{writer, writer, reader})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Decided[2] != 2 {
+				t.Errorf("scan after 2 completed updates saw %d entries", rep.Decided[2])
+			}
+		})
+	}
+}
+
+// TestAfekScanBorrowsView exercises the helping path: a scanner is
+// interleaved with a writer that keeps moving, forcing the double-collect to
+// fail until the scanner borrows an embedded view.
+func TestAfekScanBorrowsView(t *testing.T) {
+	n := 2
+	snap := NewAfekSnapshot[sim.Value]("s", n)
+	var scanned []Opt[sim.Value]
+	scanner := func(p *sim.Proc) (sim.Value, bool) {
+		scanned = snap.Scan(p)
+		return 0, true
+	}
+	writer := func(p *sim.Proc) (sim.Value, bool) {
+		for k := 0; k < 100; k++ {
+			snap.Update(p, p.ID(), sim.Value(k))
+		}
+		return 0, true
+	}
+	// Give the writer 8 steps per scanner step: an Afek update costs ~6
+	// steps (embedded scan + read + write), so the writer completes at
+	// least one update between any two scanner reads, defeating the double
+	// collect until the scanner borrows an embedded view.
+	weighted := sim.Func(func(t sim.Time, enabled sim.Set) sim.PID {
+		if t%9 == 0 && enabled.Has(0) {
+			return 0
+		}
+		if enabled.Has(1) {
+			return 1
+		}
+		return 0
+	})
+	_, err := sim.Run(sim.Config{
+		Pattern:  sim.FailFree(n),
+		Schedule: weighted,
+		Budget:   1 << 16,
+	}, []sim.Body{scanner, writer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scanned == nil {
+		t.Fatal("scan did not complete")
+	}
+	if !scanned[1].OK {
+		t.Errorf("borrowed view misses the writer: %v", ScanString(scanned))
+	}
+}
+
+func TestCountSome(t *testing.T) {
+	scan := []Opt[int]{Some(1), None[int](), Some(3)}
+	if CountSome(scan) != 2 {
+		t.Errorf("CountSome = %d", CountSome(scan))
+	}
+}
+
+func TestScanString(t *testing.T) {
+	scan := []Opt[int]{Some(1), None[int]()}
+	if got := ScanString(scan); got != "[1 ⊥]" {
+		t.Errorf("ScanString = %q", got)
+	}
+}
+
+// TestSnapshotQuickContainment is a property test: random small schedules
+// over random op counts preserve pairwise scan comparability.
+func TestSnapshotQuickContainment(t *testing.T) {
+	prop := func(seed int64, opsRaw uint8) bool {
+		n := 3
+		ops := int(opsRaw%5) + 1
+		snap := NewAfekSnapshot[sim.Value]("s", n)
+		var scans [][]Opt[sim.Value]
+		bodies := make([]sim.Body, n)
+		for i := range bodies {
+			me := sim.PID(i)
+			bodies[i] = func(p *sim.Proc) (sim.Value, bool) {
+				for k := 0; k < ops; k++ {
+					snap.Update(p, me, sim.Value(int(me)*100+k))
+					scans = append(scans, snap.Scan(p))
+				}
+				return 0, true
+			}
+		}
+		if _, err := sim.Run(sim.Config{Pattern: sim.FailFree(n), Schedule: sim.NewRandom(seed)}, bodies); err != nil {
+			return false
+		}
+		dominates := func(a, b []Opt[sim.Value]) bool {
+			for j := range a {
+				if b[j].OK && (!a[j].OK || a[j].V < b[j].V) {
+					return false
+				}
+			}
+			return true
+		}
+		for x := range scans {
+			for y := range scans {
+				if !dominates(scans[x], scans[y]) && !dominates(scans[y], scans[x]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,86 @@
+package sim
+
+import "fmt"
+
+// Pattern is a failure pattern F: it fixes, for each process, the time at
+// which it crashes (NoCrash for correct processes). F(t), the set of
+// processes crashed by time t, is {p : CrashAt(p) ≤ t}; a process may take a
+// step at time t only if t < CrashAt(p), matching the paper's requirement
+// that a step of p at T[k] implies p ∉ F(T[k]).
+type Pattern struct {
+	crashAt []Time
+}
+
+// FailFree returns the failure pattern over n processes in which every
+// process is correct.
+func FailFree(n int) Pattern {
+	if n <= 0 || n > MaxProcs {
+		panic(fmt.Sprintf("sim: FailFree(%d) out of range", n))
+	}
+	crash := make([]Time, n)
+	for i := range crash {
+		crash[i] = NoCrash
+	}
+	return Pattern{crashAt: crash}
+}
+
+// CrashPattern returns the pattern over n processes in which each process in
+// crashes fails at the associated time and all others are correct. At least
+// one process must remain correct (the paper's default environment).
+func CrashPattern(n int, crashes map[PID]Time) Pattern {
+	p := FailFree(n)
+	for pid, t := range crashes {
+		if int(pid) < 0 || int(pid) >= n {
+			panic(fmt.Sprintf("sim: crash PID %v out of range for n=%d", pid, n))
+		}
+		if t == NoCrash {
+			continue
+		}
+		if t < 0 {
+			panic(fmt.Sprintf("sim: negative crash time %d", t))
+		}
+		p.crashAt[pid] = t
+	}
+	if p.Correct().IsEmpty() {
+		panic("sim: failure pattern with no correct process")
+	}
+	return p
+}
+
+// N returns the number of processes in the system.
+func (p Pattern) N() int { return len(p.crashAt) }
+
+// CrashAt returns the crash time of pid (NoCrash if correct).
+func (p Pattern) CrashAt(pid PID) Time { return p.crashAt[pid] }
+
+// CrashedBy reports whether pid ∈ F(t).
+func (p Pattern) CrashedBy(pid PID, t Time) bool { return p.crashAt[pid] <= t }
+
+// Correct returns correct(F), the set of processes that never crash.
+func (p Pattern) Correct() Set {
+	var s Set
+	for i, t := range p.crashAt {
+		if t == NoCrash {
+			s = s.Add(PID(i))
+		}
+	}
+	return s
+}
+
+// Faulty returns faulty(F) = Π − correct(F).
+func (p Pattern) Faulty() Set { return p.Correct().Complement(p.N()) }
+
+// NumFaulty returns |faulty(F)|.
+func (p Pattern) NumFaulty() int { return p.Faulty().Len() }
+
+// InEnvironment reports whether the pattern belongs to E_f, the environment
+// where at most f processes crash.
+func (p Pattern) InEnvironment(f int) bool { return p.NumFaulty() <= f }
+
+// String summarizes the pattern.
+func (p Pattern) String() string {
+	if p.Faulty().IsEmpty() {
+		return fmt.Sprintf("failure-free(n=%d)", p.N())
+	}
+	return fmt.Sprintf("crash%v(n=%d)", p.Faulty(), p.N())
+}

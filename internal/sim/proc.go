@@ -1,0 +1,118 @@
+package sim
+
+import "fmt"
+
+// Oracle is a failure detector history H: Value(p, t) is the output of the
+// failure detector module of process p at time t (paper Section 3.2).
+// Implementations must be pure functions of (p, t) or otherwise safe to call
+// from the single runnable process goroutine.
+type Oracle interface {
+	Value(p PID, t Time) any
+}
+
+// crashToken is panicked by the step gate of a crashed process and recovered
+// by the process wrapper; it must never escape the sim package.
+type crashTokenType struct{}
+
+var crashToken = crashTokenType{}
+
+// Proc is a process's handle on the simulation: every shared-object
+// operation and failure detector query must go through one of its step
+// methods, each of which costs exactly one atomic step. Code between steps
+// must only touch process-local state.
+//
+// A Proc is only valid inside the body function it was passed to.
+type Proc struct {
+	id     PID
+	slot   int // runner-internal task slot; equals int(id) in single-task runs
+	n      int
+	msgs   chan<- procMsg
+	grants chan grant
+	now    Time
+	steps  int64
+	tracer func(Event)
+}
+
+// Event is a trace record of one atomic step.
+type Event struct {
+	T     Time
+	P     PID
+	Label string
+}
+
+type msgKind uint8
+
+const (
+	msgRequest msgKind = iota
+	msgReturned
+	msgDied
+	msgPanicked
+)
+
+type procMsg struct {
+	kind    msgKind
+	pid     PID
+	slot    int // task slot of the sender (== int(pid) in single-task runs)
+	val     Value
+	decided bool
+	pval    any // panic value for msgPanicked
+	stack   []byte
+}
+
+type grant struct {
+	t      Time
+	poison bool
+}
+
+// ID returns the process identifier.
+func (p *Proc) ID() PID { return p.id }
+
+// N returns the total number of processes in the system (the paper's n+1).
+func (p *Proc) N() int { return p.n }
+
+// Time returns the time of the process's most recent step. Processes may use
+// it as a local ever-increasing timestamp; it carries no synchrony
+// information beyond step ordering.
+func (p *Proc) Time() Time { return p.now }
+
+// Step performs op as one atomic step. The label appears in traces.
+func (p *Proc) Step(label string, op func()) {
+	t := p.gate()
+	if p.tracer != nil {
+		p.tracer(Event{T: t, P: p.id, Label: label})
+	}
+	if op != nil {
+		op()
+	}
+}
+
+// Query performs a query step on the given failure detector history and
+// returns the module's output at the current time.
+func (p *Proc) Query(h Oracle) any {
+	var out any
+	p.Step("query", func() {
+		out = h.Value(p.id, p.now)
+	})
+	return out
+}
+
+// Yield takes a no-op step. Busy-waiting loops should Yield so that waiting
+// consumes schedule steps like any other activity.
+func (p *Proc) Yield() {
+	p.Step("yield", nil)
+}
+
+// gate blocks until the scheduler grants the next step, or panics with
+// crashToken if the process has crashed.
+func (p *Proc) gate() Time {
+	p.msgs <- procMsg{kind: msgRequest, pid: p.id, slot: p.slot}
+	g := <-p.grants
+	if g.poison {
+		panic(crashToken)
+	}
+	p.now = g.t
+	p.steps++
+	return g.t
+}
+
+func (p *Proc) String() string { return fmt.Sprintf("Proc(%v)", p.id) }

@@ -1,0 +1,517 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetBasics(t *testing.T) {
+	tests := []struct {
+		name string
+		s    Set
+		want []PID
+	}{
+		{"empty", EmptySet, nil},
+		{"single", SetOf(3), []PID{3}},
+		{"multi", SetOf(0, 2, 5), []PID{0, 2, 5}},
+		{"dup", SetOf(1, 1, 1), []PID{1}},
+		{"full4", FullSet(4), []PID{0, 1, 2, 3}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := tt.s.Members()
+			if len(got) != len(tt.want) {
+				t.Fatalf("Members() = %v, want %v", got, tt.want)
+			}
+			for i := range got {
+				if got[i] != tt.want[i] {
+					t.Fatalf("Members() = %v, want %v", got, tt.want)
+				}
+			}
+			if tt.s.Len() != len(tt.want) {
+				t.Errorf("Len() = %d, want %d", tt.s.Len(), len(tt.want))
+			}
+		})
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := SetOf(0, 1, 2)
+	b := SetOf(2, 3)
+	if got := a.Union(b); got != SetOf(0, 1, 2, 3) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b); got != SetOf(2) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Minus(b); got != SetOf(0, 1) {
+		t.Errorf("Minus = %v", got)
+	}
+	if !SetOf(1).SubsetOf(a) || b.SubsetOf(a) {
+		t.Errorf("SubsetOf wrong")
+	}
+	if got := a.Complement(5); got != SetOf(3, 4) {
+		t.Errorf("Complement = %v", got)
+	}
+	if a.Min() != 0 || b.Min() != 2 {
+		t.Errorf("Min wrong")
+	}
+	if got := a.Remove(1); got != SetOf(0, 2) {
+		t.Errorf("Remove = %v", got)
+	}
+	if a.Has(3) || !a.Has(1) {
+		t.Errorf("Has wrong")
+	}
+}
+
+func TestSetString(t *testing.T) {
+	if got := SetOf(0, 2).String(); got != "{p1,p3}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := EmptySet.String(); got != "{}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestSetProperties(t *testing.T) {
+	// Property: complement of complement is identity within FullSet(n).
+	f := func(raw uint64) bool {
+		n := 8
+		s := Set(raw) & FullSet(n)
+		return s.Complement(n).Complement(n) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Property: |A ∪ B| + |A ∩ B| = |A| + |B|.
+	g := func(ra, rb uint64) bool {
+		a, b := Set(ra)&FullSet(16), Set(rb)&FullSet(16)
+		return a.Union(b).Len()+a.Intersect(b).Len() == a.Len()+b.Len()
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+	// Property: Minus is intersection with complement.
+	h := func(ra, rb uint64) bool {
+		a, b := Set(ra)&FullSet(16), Set(rb)&FullSet(16)
+		return a.Minus(b) == a.Intersect(b.Complement(16))
+	}
+	if err := quick.Check(h, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPIDString(t *testing.T) {
+	if got := PID(0).String(); got != "p1" {
+		t.Errorf("PID(0) = %q, want p1 (the paper's 1-based names)", got)
+	}
+}
+
+func TestPatternBasics(t *testing.T) {
+	p := FailFree(4)
+	if p.N() != 4 || !p.Faulty().IsEmpty() || p.Correct() != FullSet(4) {
+		t.Fatalf("FailFree wrong: %+v", p)
+	}
+	if p.NumFaulty() != 0 || !p.InEnvironment(0) {
+		t.Errorf("fail-free environment wrong")
+	}
+
+	q := CrashPattern(4, map[PID]Time{1: 100, 3: 5})
+	if q.Faulty() != SetOf(1, 3) {
+		t.Errorf("Faulty = %v", q.Faulty())
+	}
+	if q.Correct() != SetOf(0, 2) {
+		t.Errorf("Correct = %v", q.Correct())
+	}
+	if !q.CrashedBy(3, 5) || q.CrashedBy(3, 4) || q.CrashedBy(0, 1<<40) {
+		t.Errorf("CrashedBy wrong")
+	}
+	if q.InEnvironment(1) || !q.InEnvironment(2) || !q.InEnvironment(3) {
+		t.Errorf("InEnvironment wrong")
+	}
+}
+
+func TestPatternAllCrashPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for no-correct-process pattern")
+		}
+	}()
+	CrashPattern(2, map[PID]Time{0: 1, 1: 1})
+}
+
+func TestPatternNoCrashEntryIgnored(t *testing.T) {
+	p := CrashPattern(3, map[PID]Time{0: NoCrash})
+	if !p.Faulty().IsEmpty() {
+		t.Errorf("NoCrash entry should leave the process correct")
+	}
+}
+
+// countBody returns after taking exactly k steps.
+func countBody(k int) Body {
+	return func(p *Proc) (Value, bool) {
+		for i := 0; i < k; i++ {
+			p.Yield()
+		}
+		return Value(p.ID()), true
+	}
+}
+
+func TestRunAllDecide(t *testing.T) {
+	pattern := FailFree(3)
+	rep, err := Run(Config{Pattern: pattern, Schedule: RoundRobin()},
+		[]Body{countBody(5), countBody(3), countBody(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Steps != 15 {
+		t.Errorf("Steps = %d, want 15", rep.Steps)
+	}
+	for i := 0; i < 3; i++ {
+		if rep.Decided[PID(i)] != Value(i) {
+			t.Errorf("Decided[%d] = %v", i, rep.Decided[PID(i)])
+		}
+		want := int64([]int{5, 3, 7}[i])
+		if rep.StepsBy[i] != want {
+			t.Errorf("StepsBy[%d] = %d, want %d", i, rep.StepsBy[i], want)
+		}
+	}
+	if len(rep.DecidedValues()) != 3 {
+		t.Errorf("DecidedValues = %v", rep.DecidedValues())
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	mk := func() []Body {
+		shared := new(int64)
+		bodies := make([]Body, 4)
+		for i := range bodies {
+			bodies[i] = func(p *Proc) (Value, bool) {
+				var acc Value
+				for k := 0; k < 50; k++ {
+					p.Step("acc", func() {
+						*shared += int64(p.ID()) + 1
+						acc = Value(*shared)
+					})
+				}
+				return acc, true
+			}
+		}
+		return bodies
+	}
+	run := func() map[PID]Value {
+		rep, err := Run(Config{Pattern: FailFree(4), Schedule: NewRandom(42)}, mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Decided
+	}
+	a, b := run(), run()
+	for p, v := range a {
+		if b[p] != v {
+			t.Fatalf("non-deterministic: %v: %v vs %v", p, v, b[p])
+		}
+	}
+}
+
+func TestRunCrash(t *testing.T) {
+	// p1 crashes at time 4: it takes at most 3 steps under round-robin.
+	pattern := CrashPattern(2, map[PID]Time{1: 4})
+	rep, err := Run(Config{Pattern: pattern, Schedule: RoundRobin()},
+		[]Body{countBody(10), countBody(1000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Crashed.Has(1) {
+		t.Errorf("p2 should have crashed")
+	}
+	if _, ok := rep.Decided[1]; ok {
+		t.Errorf("crashed process decided")
+	}
+	if rep.Decided[0] != 0 {
+		t.Errorf("p1 should decide")
+	}
+	if rep.StepsBy[1] > 3 {
+		t.Errorf("crashed process took %d steps, crash time 4 allows ≤ 3", rep.StepsBy[1])
+	}
+}
+
+func TestRunCrashAtZeroTakesNoSteps(t *testing.T) {
+	pattern := CrashPattern(2, map[PID]Time{1: 0})
+	rep, err := Run(Config{Pattern: pattern, Schedule: RoundRobin()},
+		[]Body{countBody(2), countBody(100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StepsBy[1] != 0 {
+		t.Errorf("process crashed at 0 took %d steps", rep.StepsBy[1])
+	}
+}
+
+func TestRunBudgetExhaustion(t *testing.T) {
+	spin := func(p *Proc) (Value, bool) {
+		for {
+			p.Yield()
+		}
+	}
+	rep, err := Run(Config{Pattern: FailFree(2), Schedule: RoundRobin(), Budget: 100},
+		[]Body{spin, spin})
+	if err == nil {
+		t.Fatal("expected budget exhaustion error")
+	}
+	if !rep.BudgetExhausted {
+		t.Errorf("BudgetExhausted not set")
+	}
+	if rep.Steps != 100 {
+		t.Errorf("Steps = %d, want 100", rep.Steps)
+	}
+}
+
+func TestRunHaltWithoutDeciding(t *testing.T) {
+	halt := func(p *Proc) (Value, bool) {
+		p.Yield()
+		return 0, false
+	}
+	rep, err := Run(Config{Pattern: FailFree(2), Schedule: RoundRobin()},
+		[]Body{halt, countBody(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Halted.Has(0) {
+		t.Errorf("p1 should be halted")
+	}
+	if _, ok := rep.Decided[0]; ok {
+		t.Errorf("halted process should not appear in Decided")
+	}
+}
+
+func TestRunStopWhen(t *testing.T) {
+	spin := func(p *Proc) (Value, bool) {
+		for {
+			p.Yield()
+		}
+	}
+	rep, err := Run(Config{
+		Pattern:  FailFree(2),
+		Schedule: RoundRobin(),
+		StopWhen: func(t Time) bool { return t >= 10 },
+	}, []Body{spin, spin})
+	if err == nil {
+		t.Fatal("stopped run with live correct processes should report an error")
+	}
+	if !rep.Stopped {
+		t.Errorf("Stopped not set")
+	}
+	if rep.BudgetExhausted {
+		t.Errorf("BudgetExhausted should not be set for StopWhen")
+	}
+	if rep.Steps != 10 {
+		t.Errorf("Steps = %d, want 10", rep.Steps)
+	}
+}
+
+func TestRunTracer(t *testing.T) {
+	var events []Event
+	_, err := Run(Config{
+		Pattern:  FailFree(2),
+		Schedule: RoundRobin(),
+		Tracer:   func(e Event) { events = append(events, e) },
+	}, []Body{countBody(2), countBody(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4", len(events))
+	}
+	for i, e := range events {
+		if e.T != Time(i+1) {
+			t.Errorf("event %d at time %d, want %d", i, e.T, i+1)
+		}
+		if e.Label != "yield" {
+			t.Errorf("event label %q", e.Label)
+		}
+	}
+}
+
+func TestRunPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("body panic should propagate out of Run")
+		}
+	}()
+	boom := func(p *Proc) (Value, bool) {
+		p.Yield()
+		panic("kaboom")
+	}
+	_, _ = Run(Config{Pattern: FailFree(1), Schedule: RoundRobin()}, []Body{boom})
+}
+
+func TestRoundRobinFairness(t *testing.T) {
+	rep, err := Run(Config{Pattern: FailFree(3), Schedule: RoundRobin(), Budget: 99},
+		[]Body{countBody(1000), countBody(1000), countBody(1000)})
+	if err == nil {
+		t.Fatal("expected exhaustion")
+	}
+	for i := 0; i < 3; i++ {
+		if rep.StepsBy[i] != 33 {
+			t.Errorf("StepsBy[%d] = %d, want 33", i, rep.StepsBy[i])
+		}
+	}
+}
+
+func TestRandomScheduleFairness(t *testing.T) {
+	rep, err := Run(Config{Pattern: FailFree(4), Schedule: NewRandom(7), Budget: 4000},
+		[]Body{countBody(1 << 30), countBody(1 << 30), countBody(1 << 30), countBody(1 << 30)})
+	if err == nil {
+		t.Fatal("expected exhaustion")
+	}
+	for i := 0; i < 4; i++ {
+		if rep.StepsBy[i] < 800 || rep.StepsBy[i] > 1200 {
+			t.Errorf("StepsBy[%d] = %d, not near 1000", i, rep.StepsBy[i])
+		}
+	}
+}
+
+func TestPrioritySchedule(t *testing.T) {
+	// p3 runs alone until it returns; then p1; then p2.
+	rep, err := Run(Config{Pattern: FailFree(3), Schedule: Priority(2, 0, 1)},
+		[]Body{countBody(5), countBody(5), countBody(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DecidedAt[2] >= rep.DecidedAt[0] || rep.DecidedAt[0] >= rep.DecidedAt[1] {
+		t.Errorf("priority order violated: %v", rep.DecidedAt)
+	}
+}
+
+func TestPriorityDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Priority(1, 1)
+}
+
+func TestScriptSoloAndEachOnce(t *testing.T) {
+	var order []PID
+	sched := NewScript(RoundRobin(),
+		Solo(2, 3),
+		EachOnce(),
+		Solo(0, 2),
+	)
+	_, err := Run(Config{
+		Pattern:  FailFree(3),
+		Schedule: sched,
+		Budget:   8,
+		Tracer:   func(e Event) { order = append(order, e.P) },
+	}, []Body{countBody(100), countBody(100), countBody(100)})
+	if err == nil {
+		t.Fatal("expected exhaustion")
+	}
+	want := []PID{2, 2, 2, 0, 1, 2, 0, 0}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+}
+
+func TestScriptAppendMidRun(t *testing.T) {
+	sched := NewScript(RoundRobin(), Solo(1, 2))
+	appended := false
+	var order []PID
+	_, err := Run(Config{
+		Pattern:  FailFree(2),
+		Schedule: sched,
+		Budget:   6,
+		Tracer:   func(e Event) { order = append(order, e.P) },
+		StopWhen: func(t Time) bool {
+			if t == 2 && !appended {
+				appended = true
+				sched.Append(Solo(0, 3))
+			}
+			return false
+		},
+	}, []Body{countBody(100), countBody(100)})
+	if err == nil {
+		t.Fatal("expected exhaustion")
+	}
+	want := []PID{1, 1, 0, 0, 0, 0}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+}
+
+func TestAlternateSchedule(t *testing.T) {
+	var order []PID
+	_, err := Run(Config{
+		Pattern:  FailFree(2),
+		Schedule: Alternate(Priority(0), Priority(1)),
+		Budget:   6,
+		Tracer:   func(e Event) { order = append(order, e.P) },
+	}, []Body{countBody(100), countBody(100)})
+	if err == nil {
+		t.Fatal("expected exhaustion")
+	}
+	// Times start at 1 (odd): priority(1) first.
+	want := []PID{1, 0, 1, 0, 1, 0}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+}
+
+func TestFullSetBounds(t *testing.T) {
+	if FullSet(0) != EmptySet {
+		t.Errorf("FullSet(0) = %v", FullSet(0))
+	}
+	if FullSet(MaxProcs).Len() != MaxProcs {
+		t.Errorf("FullSet(64) wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for FullSet(65)")
+		}
+	}()
+	FullSet(MaxProcs + 1)
+}
+
+func TestQueryIsAStep(t *testing.T) {
+	oracle := constOracle{v: 42}
+	body := func(p *Proc) (Value, bool) {
+		a := p.Query(oracle).(int)
+		return Value(a), true
+	}
+	rep, err := Run(Config{Pattern: FailFree(1), Schedule: RoundRobin()}, []Body{body})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Steps != 1 {
+		t.Errorf("query cost %d steps, want 1", rep.Steps)
+	}
+	if rep.Decided[0] != 42 {
+		t.Errorf("query value lost")
+	}
+}
+
+type constOracle struct{ v int }
+
+func (c constOracle) Value(PID, Time) any { return c.v }
+
+func TestProcTimeAdvances(t *testing.T) {
+	var times []Time
+	body := func(p *Proc) (Value, bool) {
+		for i := 0; i < 3; i++ {
+			p.Yield()
+			times = append(times, p.Time())
+		}
+		return 0, true
+	}
+	if _, err := Run(Config{Pattern: FailFree(1), Schedule: RoundRobin()}, []Body{body}); err != nil {
+		t.Fatal(err)
+	}
+	for i, ts := range times {
+		if ts != Time(i+1) {
+			t.Errorf("time %d after step %d", ts, i+1)
+		}
+	}
+}

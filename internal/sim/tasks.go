@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"fmt"
+)
+
+// Multi-task processes. The paper's Figure 3 algorithm explicitly runs "two
+// parallel tasks" inside each process; composing a reduction with an
+// algorithm that consumes the emulated detector likewise puts two automata
+// inside one process. RunTasks executes several task bodies per logical
+// process: all tasks of process i share the identity PID i (they see the
+// same ID and the same failure fate), every atomic step still belongs to
+// exactly one task, and the schedule keeps deciding which *process* steps —
+// the runner rotates fairly among that process's runnable tasks, modelling
+// a fair local task scheduler.
+//
+// A process decides when any of its tasks returns a decision; its other
+// tasks may keep running (reductions never return). The run ends
+// successfully as soon as every correct process has decided; otherwise it
+// ends on budget exhaustion or StopWhen.
+
+// TaskSet holds the bodies of one logical process's parallel tasks.
+type TaskSet []Body
+
+// RunTasks is Run generalized to multi-task processes. bodies[i] holds the
+// task bodies of process i; every process must have at least one task.
+// Report fields are per logical process (StepsBy sums a process's tasks).
+func RunTasks(cfg Config, bodies []TaskSet) (*Report, error) {
+	n := cfg.Pattern.N()
+	if len(bodies) != n {
+		panic(fmt.Sprintf("sim: %d task sets for %d processes", len(bodies), n))
+	}
+	if cfg.Schedule == nil {
+		panic("sim: nil Schedule")
+	}
+	budget := cfg.Budget
+	if budget == 0 {
+		budget = DefaultBudget
+	}
+
+	type slot struct {
+		pid   PID
+		proc  *Proc
+		state procState
+	}
+	msgs := make(chan procMsg)
+	var slots []*slot
+	taskIdx := make([][]int, n) // taskIdx[pid] lists slot indices
+	for i := 0; i < n; i++ {
+		if len(bodies[i]) == 0 {
+			panic(fmt.Sprintf("sim: process %d has no tasks", i))
+		}
+		taskIdx[i] = make([]int, len(bodies[i]))
+		for t := range bodies[i] {
+			p := &Proc{
+				id:     PID(i),
+				n:      n,
+				msgs:   msgs,
+				grants: make(chan grant, 1),
+				tracer: cfg.Tracer,
+			}
+			idx := len(slots)
+			taskIdx[i][t] = idx
+			p.slot = idx
+			slots = append(slots, &slot{pid: PID(i), proc: p, state: stateAwaited})
+			go runBody(p, bodies[i][t])
+		}
+	}
+
+	rep := &Report{
+		Decided:   make(map[PID]Value),
+		DecidedAt: make(map[PID]Time),
+		StepsBy:   make([]int64, n),
+	}
+	outstanding := len(slots)
+	var t Time
+	rotate := make([]int, n) // last-granted task index per process
+
+	recvOne := func() {
+		m := <-msgs
+		outstanding--
+		s := slots[m.slot]
+		switch m.kind {
+		case msgRequest:
+			s.state = statePending
+		case msgReturned:
+			s.state = stateReturned
+			if m.decided {
+				if _, dup := rep.Decided[s.pid]; !dup {
+					rep.Decided[s.pid] = m.val
+					rep.DecidedAt[s.pid] = s.proc.now
+				}
+			} else if !rep.Halted.Has(s.pid) {
+				rep.Halted = rep.Halted.Add(s.pid)
+			}
+		case msgDied:
+			s.state = stateDead
+			rep.Crashed = rep.Crashed.Add(s.pid)
+		case msgPanicked:
+			panic(fmt.Sprintf("sim: process %v task panicked: %v\n%s", s.pid, m.pval, m.stack))
+		}
+	}
+	poisonSlot := func(i int) {
+		slots[i].proc.grants <- grant{poison: true}
+		outstanding++
+	}
+	poisonAllPending := func() {
+		for i, s := range slots {
+			if s.state == statePending {
+				poisonSlot(i)
+			}
+		}
+		for outstanding > 0 {
+			recvOne()
+		}
+	}
+	allCorrectDecided := func() bool {
+		for _, pid := range cfg.Pattern.Correct().Members() {
+			if _, ok := rep.Decided[pid]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+
+	for {
+		for outstanding > 0 {
+			recvOne()
+		}
+		if allCorrectDecided() {
+			poisonAllPending()
+			break
+		}
+		next := t + 1
+		for i, s := range slots {
+			if s.state == statePending && cfg.Pattern.CrashAt(s.pid) <= next {
+				poisonSlot(i)
+			}
+		}
+		if outstanding > 0 {
+			continue
+		}
+
+		var enabled Set
+		for _, s := range slots {
+			if s.state == statePending {
+				enabled = enabled.Add(s.pid)
+			}
+		}
+		if enabled.IsEmpty() {
+			break
+		}
+		if rep.Steps >= budget {
+			rep.BudgetExhausted = true
+			poisonAllPending()
+			break
+		}
+
+		pid := cfg.Schedule.Next(next, enabled)
+		if !enabled.Has(pid) {
+			panic(fmt.Sprintf("sim: schedule chose %v not in enabled %v", pid, enabled))
+		}
+		tasks := taskIdx[pid]
+		chosen := -1
+		for k := 1; k <= len(tasks); k++ {
+			cand := (rotate[pid] + k) % len(tasks)
+			if slots[tasks[cand]].state == statePending {
+				chosen = cand
+				break
+			}
+		}
+		if chosen < 0 {
+			panic("sim: enabled process has no pending task")
+		}
+		rotate[pid] = chosen
+		s := slots[tasks[chosen]]
+		t = next
+		s.state = stateAwaited
+		s.proc.grants <- grant{t: t}
+		outstanding++
+		rep.Steps++
+		rep.StepsBy[pid]++
+
+		if cfg.StopWhen != nil {
+			for outstanding > 0 {
+				recvOne()
+			}
+			if cfg.StopWhen(t) {
+				rep.Stopped = true
+				poisonAllPending()
+				break
+			}
+		}
+	}
+
+	if !allCorrectDecided() {
+		return rep, fmt.Errorf("%w (pattern %v, %d steps)", ErrBudgetExhausted, cfg.Pattern, rep.Steps)
+	}
+	return rep, nil
+}

@@ -1,0 +1,181 @@
+package sim
+
+import "testing"
+
+func TestRunTasksBasics(t *testing.T) {
+	// One deciding task and one spinning task per process: the run ends as
+	// soon as every correct process has decided, with the spinners poisoned.
+	decide := func(p *Proc) (Value, bool) {
+		for i := 0; i < 3; i++ {
+			p.Yield()
+		}
+		return Value(p.ID()) + 10, true
+	}
+	spin := func(p *Proc) (Value, bool) {
+		for {
+			p.Yield()
+		}
+	}
+	rep, err := RunTasks(Config{Pattern: FailFree(2), Schedule: RoundRobin()},
+		[]TaskSet{{decide, spin}, {decide, spin}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Decided[0] != 10 || rep.Decided[1] != 11 {
+		t.Fatalf("decisions %v", rep.Decided)
+	}
+}
+
+func TestRunTasksFairRotation(t *testing.T) {
+	// With two spinning tasks per process, both must get steps.
+	counts := make([]int64, 4) // (pid, task) flattened
+	mk := func(slot int) Body {
+		return func(p *Proc) (Value, bool) {
+			for {
+				p.Yield()
+				counts[slot]++
+			}
+		}
+	}
+	_, err := RunTasks(Config{Pattern: FailFree(2), Schedule: RoundRobin(), Budget: 400},
+		[]TaskSet{{mk(0), mk(1)}, {mk(2), mk(3)}})
+	if err == nil {
+		t.Fatal("expected exhaustion")
+	}
+	for i, c := range counts {
+		if c < 80 {
+			t.Errorf("task %d starved: %d steps", i, c)
+		}
+	}
+}
+
+func TestRunTasksCrashKillsAllTasks(t *testing.T) {
+	spin := func(p *Proc) (Value, bool) {
+		for {
+			p.Yield()
+		}
+	}
+	decide := func(p *Proc) (Value, bool) {
+		p.Yield()
+		return 7, true
+	}
+	pattern := CrashPattern(2, map[PID]Time{1: 5})
+	rep, err := RunTasks(Config{Pattern: pattern, Schedule: RoundRobin(), Budget: 1000},
+		[]TaskSet{{decide, spin}, {spin, spin}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Crashed.Has(1) {
+		t.Fatal("p2 should crash")
+	}
+	if rep.StepsBy[1] > 4 {
+		t.Fatalf("crashed process took %d steps after crash time", rep.StepsBy[1])
+	}
+}
+
+func TestRunTasksStopWhen(t *testing.T) {
+	spin := func(p *Proc) (Value, bool) {
+		for {
+			p.Yield()
+		}
+	}
+	rep, err := RunTasks(Config{
+		Pattern:  FailFree(1),
+		Schedule: RoundRobin(),
+		StopWhen: func(t Time) bool { return t >= 5 },
+	}, []TaskSet{{spin, spin}})
+	if err == nil {
+		t.Fatal("stopped run without decisions must error")
+	}
+	if !rep.Stopped || rep.Steps != 5 {
+		t.Fatalf("stopped=%v steps=%d", rep.Stopped, rep.Steps)
+	}
+}
+
+func TestRunTasksHaltedTask(t *testing.T) {
+	halt := func(p *Proc) (Value, bool) {
+		p.Yield()
+		return 0, false
+	}
+	decide := func(p *Proc) (Value, bool) {
+		for i := 0; i < 4; i++ {
+			p.Yield() // slower than the halting task, which must finish first
+		}
+		return 3, true
+	}
+	rep, err := RunTasks(Config{Pattern: FailFree(1), Schedule: RoundRobin()},
+		[]TaskSet{{halt, decide}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Halted.Has(0) {
+		t.Error("halted task not recorded")
+	}
+	if rep.Decided[0] != 3 {
+		t.Errorf("decision %v", rep.Decided)
+	}
+}
+
+func TestRunTasksFirstDecisionWins(t *testing.T) {
+	// Two deciding tasks in one process: the first decision is recorded.
+	fast := func(p *Proc) (Value, bool) {
+		p.Yield()
+		return 1, true
+	}
+	slow := func(p *Proc) (Value, bool) {
+		for i := 0; i < 10; i++ {
+			p.Yield()
+		}
+		return 2, true
+	}
+	rep, err := RunTasks(Config{Pattern: FailFree(1), Schedule: RoundRobin()},
+		[]TaskSet{{slow, fast}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Decided[0] != 1 {
+		t.Fatalf("decision %v, want the fast task's 1", rep.Decided[0])
+	}
+}
+
+func TestRunTasksBudget(t *testing.T) {
+	spin := func(p *Proc) (Value, bool) {
+		for {
+			p.Yield()
+		}
+	}
+	rep, err := RunTasks(Config{Pattern: FailFree(2), Schedule: NewRandom(1), Budget: 64},
+		[]TaskSet{{spin}, {spin, spin}})
+	if err == nil {
+		t.Fatal("expected exhaustion")
+	}
+	if !rep.BudgetExhausted || rep.Steps != 64 {
+		t.Fatalf("exhausted=%v steps=%d", rep.BudgetExhausted, rep.Steps)
+	}
+}
+
+func TestEventuallySynchronousValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bound 0")
+		}
+	}()
+	EventuallySynchronous(10, 0, 1)
+}
+
+func TestStarveVictimOnlyWhenAlone(t *testing.T) {
+	// If the victim is the only enabled process, Starve must still grant it
+	// (the schedule contract requires a member of enabled).
+	body := func(p *Proc) (Value, bool) {
+		p.Yield()
+		return 1, true
+	}
+	rep, err := Run(Config{Pattern: FailFree(1), Schedule: Starve(0, nil)},
+		[]Body{body})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Decided[0] != 1 {
+		t.Fatal("victim never ran")
+	}
+}

@@ -1,0 +1,138 @@
+// Package trace records and summarizes run traces: which process performed
+// which kind of atomic step when. It powers the narrated examples, the
+// -trace flag of cmd/setagree, and white-box tests that assert protocols
+// take the *kinds* of steps the paper's pseudocode prescribes.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"weakestfd/internal/sim"
+)
+
+// Recorder collects step events from a run via sim.Config.Tracer.
+type Recorder struct {
+	filter func(sim.Event) bool
+	events []sim.Event
+}
+
+// NewRecorder builds a recorder; a nil filter records everything.
+func NewRecorder(filter func(sim.Event) bool) *Recorder {
+	return &Recorder{filter: filter}
+}
+
+// Hook returns the tracer callback to plug into sim.Config.Tracer.
+func (r *Recorder) Hook() func(sim.Event) {
+	return func(e sim.Event) {
+		if r.filter == nil || r.filter(e) {
+			r.events = append(r.events, e)
+		}
+	}
+}
+
+// Events returns the recorded events in time order.
+func (r *Recorder) Events() []sim.Event { return r.events }
+
+// Timeline returns the events of one process, in time order.
+func (r *Recorder) Timeline(p sim.PID) []sim.Event {
+	var out []sim.Event
+	for _, e := range r.events {
+		if e.P == p {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Summary aggregates a recording.
+type Summary struct {
+	// Total is the number of recorded steps.
+	Total int64
+	// ByProc counts steps per process (indexed by PID; length = max PID+1).
+	ByProc []int64
+	// ByClass counts steps per label class (see LabelClass).
+	ByClass map[string]int64
+}
+
+// Summarize aggregates the recording into per-process and per-label-class
+// counts.
+func (r *Recorder) Summarize() Summary {
+	s := Summary{ByClass: make(map[string]int64)}
+	maxP := sim.PID(-1)
+	for _, e := range r.events {
+		if e.P > maxP {
+			maxP = e.P
+		}
+	}
+	s.ByProc = make([]int64, int(maxP)+1)
+	for _, e := range r.events {
+		s.Total++
+		s.ByProc[e.P]++
+		s.ByClass[LabelClass(e.Label)]++
+	}
+	return s
+}
+
+// LabelClass collapses a step label to its structural class: indices inside
+// brackets and trailing round/sub-round decorations are replaced by "·", so
+// "read D[3]" and "read D[17]" both class as "read D[·]", and
+// "update nconv[2][5]/3.A" classes as "update nconv[·][·]/·.A".
+func LabelClass(label string) string {
+	var b strings.Builder
+	i := 0
+	for i < len(label) {
+		switch c := label[i]; {
+		case c == '[':
+			b.WriteString("[·]")
+			for i < len(label) && label[i] != ']' {
+				i++
+			}
+			i++ // skip ']'
+		case c == '/':
+			b.WriteString("/·")
+			i++
+			for i < len(label) && label[i] >= '0' && label[i] <= '9' {
+				i++
+			}
+		case c >= '0' && c <= '9':
+			b.WriteString("·")
+			for i < len(label) && label[i] >= '0' && label[i] <= '9' {
+				i++
+			}
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return b.String()
+}
+
+// String renders the summary, label classes sorted by descending count.
+func (s Summary) String() string {
+	type kv struct {
+		class string
+		n     int64
+	}
+	classes := make([]kv, 0, len(s.ByClass))
+	for c, n := range s.ByClass {
+		classes = append(classes, kv{c, n})
+	}
+	sort.Slice(classes, func(i, j int) bool {
+		if classes[i].n != classes[j].n {
+			return classes[i].n > classes[j].n
+		}
+		return classes[i].class < classes[j].class
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "steps: %d\n", s.Total)
+	for p, n := range s.ByProc {
+		fmt.Fprintf(&b, "  %v: %d\n", sim.PID(p), n)
+	}
+	b.WriteString("by step class:\n")
+	for _, c := range classes {
+		fmt.Fprintf(&b, "  %-32s %d\n", c.class, c.n)
+	}
+	return b.String()
+}

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"weakestfd/internal/memory"
+	"weakestfd/internal/sim"
+)
+
+func TestLabelClass(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"read D", "read D"},
+		{"read D[3]", "read D[·]"},
+		{"read D[17]", "read D[·]"},
+		{"update nconv[2][5]/3.A", "update nconv[·][·]/·.A"},
+		{"scan A[1][2]/4", "scan A[·][·]/·"},
+		{"query", "query"},
+		{"write R[0]", "write R[·]"},
+		{"read Stable[12]", "read Stable[·]"},
+		{"write HB7", "write HB·"},
+	}
+	for _, tt := range tests {
+		if got := LabelClass(tt.in); got != tt.want {
+			t.Errorf("LabelClass(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestRecorderAndSummary(t *testing.T) {
+	reg := memory.NewRegister[int]("X")
+	arr := memory.NewArray[int]("Y", 2)
+	body := func(p *sim.Proc) (sim.Value, bool) {
+		reg.Write(p, 1)
+		arr.Write(p, p.ID(), 2)
+		reg.Read(p)
+		return 0, true
+	}
+	rec := NewRecorder(nil)
+	_, err := sim.Run(sim.Config{
+		Pattern:  sim.FailFree(2),
+		Schedule: sim.RoundRobin(),
+		Tracer:   rec.Hook(),
+	}, []sim.Body{body, body})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rec.Summarize()
+	if s.Total != 6 {
+		t.Fatalf("Total = %d, want 6", s.Total)
+	}
+	if s.ByProc[0] != 3 || s.ByProc[1] != 3 {
+		t.Fatalf("ByProc = %v", s.ByProc)
+	}
+	if s.ByClass["write X"] != 2 || s.ByClass["write Y[·]"] != 2 || s.ByClass["read X"] != 2 {
+		t.Fatalf("ByClass = %v", s.ByClass)
+	}
+	if tl := rec.Timeline(1); len(tl) != 3 {
+		t.Fatalf("Timeline(1) = %v", tl)
+	}
+	out := s.String()
+	for _, want := range []string{"steps: 6", "write X", "write Y[·]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRecorderFilter(t *testing.T) {
+	rec := NewRecorder(func(e sim.Event) bool { return e.P == 0 })
+	body := func(p *sim.Proc) (sim.Value, bool) {
+		p.Yield()
+		return 0, true
+	}
+	_, err := sim.Run(sim.Config{
+		Pattern:  sim.FailFree(2),
+		Schedule: sim.RoundRobin(),
+		Tracer:   rec.Hook(),
+	}, []sim.Body{body, body})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Events()) != 1 || rec.Events()[0].P != 0 {
+		t.Fatalf("filter failed: %v", rec.Events())
+	}
+}
+
+func TestEmptySummary(t *testing.T) {
+	rec := NewRecorder(nil)
+	s := rec.Summarize()
+	if s.Total != 0 || len(s.ByProc) != 0 {
+		t.Fatalf("empty summary wrong: %+v", s)
+	}
+}

@@ -1,0 +1,53 @@
+package weakestfd
+
+import "testing"
+
+func TestSolveWithTimingAssumptions(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		crashAt map[int]int64
+	}{
+		{"failfree", nil},
+		{"one-crash", map[int]int64{2: 600}},
+		{"two-crash", map[int]int64{0: 500, 3: 900}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := SolveWithTimingAssumptions(TimedConfig{
+				N:         4,
+				Proposals: []int64{10, 20, 30, 40},
+				CrashAt:   tc.crashAt,
+				Seed:      3,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Distinct) > res.K {
+				t.Fatalf("agreement: %v > %d", res.Distinct, res.K)
+			}
+		})
+	}
+}
+
+func TestSolveWithTimingAssumptionsDeterminism(t *testing.T) {
+	cfg := TimedConfig{N: 4, Proposals: []int64{1, 2, 3, 4}, Seed: 7}
+	a, err := SolveWithTimingAssumptions(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SolveWithTimingAssumptions(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Steps != b.Steps {
+		t.Fatalf("steps differ: %d vs %d", a.Steps, b.Steps)
+	}
+}
+
+func TestSolveWithTimingAssumptionsValidation(t *testing.T) {
+	if _, err := SolveWithTimingAssumptions(TimedConfig{N: 1, Proposals: []int64{1}}); err == nil {
+		t.Error("expected error for N=1")
+	}
+	if _, err := SolveWithTimingAssumptions(TimedConfig{N: 3, Proposals: []int64{1}}); err == nil {
+		t.Error("expected error for proposal mismatch")
+	}
+}
