@@ -1,4 +1,4 @@
-package weakestfd
+package weakestfd_test
 
 // Benchmarks, one family per experiment table of EXPERIMENTS.md (and hence
 // per figure/theorem of the paper). Each op is one full simulated run, so
@@ -14,13 +14,17 @@ package weakestfd
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"testing"
 
+	"weakestfd"
 	"weakestfd/internal/agreement"
 	"weakestfd/internal/check"
 	"weakestfd/internal/converge"
 	"weakestfd/internal/core"
 	"weakestfd/internal/fd"
+	"weakestfd/internal/lab"
+	"weakestfd/internal/lab/scenarios"
 	"weakestfd/internal/memory"
 	"weakestfd/internal/sim"
 )
@@ -47,7 +51,7 @@ func BenchmarkFig1(b *testing.B) {
 				}
 				var steps int64
 				for i := 0; i < b.N; i++ {
-					res, err := SolveSetAgreement(SetAgreementConfig{
+					res, err := weakestfd.SolveSetAgreement(weakestfd.SetAgreementConfig{
 						N: n, Proposals: benchProposals(n), CrashAt: crashAt,
 						StabilizeAt: 150, Seed: int64(i), Budget: 1 << 22,
 					})
@@ -73,8 +77,8 @@ func BenchmarkFig2(b *testing.B) {
 			}
 			var steps int64
 			for i := 0; i < b.N; i++ {
-				res, err := SolveSetAgreement(SetAgreementConfig{
-					N: tc.n, F: tc.f, Algorithm: UpsilonFFig2,
+				res, err := weakestfd.SolveSetAgreement(weakestfd.SetAgreementConfig{
+					N: tc.n, F: tc.f, Algorithm: weakestfd.UpsilonFFig2,
 					Proposals: benchProposals(tc.n), CrashAt: crashAt,
 					StabilizeAt: 150, Seed: int64(i), Budget: 1 << 22,
 				})
@@ -91,11 +95,11 @@ func BenchmarkFig2(b *testing.B) {
 // BenchmarkExtraction is E3: the Figure 3 reduction from each stable
 // detector.
 func BenchmarkExtraction(b *testing.B) {
-	for _, det := range []Detector{Omega, OmegaN, StableEvPerfect} {
+	for _, det := range []weakestfd.Detector{weakestfd.Omega, weakestfd.OmegaN, weakestfd.StableEvPerfect} {
 		b.Run(det.String(), func(b *testing.B) {
 			var lag int64
 			for i := 0; i < b.N; i++ {
-				res, err := ExtractUpsilon(ExtractConfig{
+				res, err := weakestfd.ExtractUpsilon(weakestfd.ExtractConfig{
 					N: 5, From: det, StabilizeAt: 150,
 					Seed: int64(i), Budget: 40_000,
 				})
@@ -221,20 +225,20 @@ func BenchmarkComplementReductions(b *testing.B) {
 func BenchmarkImpossibility(b *testing.B) {
 	b.Run("async-livelock", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			_, err := SolveSetAgreement(SetAgreementConfig{
-				N: 4, Algorithm: AsyncAttempt, Proposals: benchProposals(4),
-				Schedule: RoundRobinSchedule, Budget: 20_000,
+			_, err := weakestfd.SolveSetAgreement(weakestfd.SetAgreementConfig{
+				N: 4, Algorithm: weakestfd.AsyncAttempt, Proposals: benchProposals(4),
+				Schedule: weakestfd.RoundRobinSchedule, Budget: 20_000,
 			})
-			if !errors.Is(err, ErrNoTermination) {
+			if !errors.Is(err, weakestfd.ErrNoTermination) {
 				b.Fatalf("expected livelock, got %v", err)
 			}
 		}
 	})
 	b.Run("fig1-control", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := SolveSetAgreement(SetAgreementConfig{
+			if _, err := weakestfd.SolveSetAgreement(weakestfd.SetAgreementConfig{
 				N: 4, Proposals: benchProposals(4),
-				Schedule: RoundRobinSchedule, Seed: int64(i), Budget: 20_000,
+				Schedule: weakestfd.RoundRobinSchedule, Seed: int64(i), Budget: 20_000,
 			}); err != nil {
 				b.Fatal(err)
 			}
@@ -253,7 +257,7 @@ func BenchmarkAblationSnapshot(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var steps int64
 			for i := 0; i < b.N; i++ {
-				res, err := SolveSetAgreement(SetAgreementConfig{
+				res, err := weakestfd.SolveSetAgreement(weakestfd.SetAgreementConfig{
 					N: 4, Proposals: benchProposals(4), CrashAt: map[int]int64{1: 30},
 					StabilizeAt: 100, Seed: int64(i),
 					RegistersOnly: reg, Budget: 1 << 23,
@@ -332,11 +336,11 @@ func BenchmarkAblationConverge(b *testing.B) {
 // BenchmarkAblationBaselines is E10d: Figure 1 vs the Ωn and Ω baselines on
 // the same task and pattern.
 func BenchmarkAblationBaselines(b *testing.B) {
-	for _, alg := range []Algorithm{UpsilonFig1, OmegaNBaseline, OmegaConsensus, OmegaNBoosted} {
+	for _, alg := range []weakestfd.Algorithm{weakestfd.UpsilonFig1, weakestfd.OmegaNBaseline, weakestfd.OmegaConsensus, weakestfd.OmegaNBoosted} {
 		b.Run(alg.String(), func(b *testing.B) {
 			var steps int64
 			for i := 0; i < b.N; i++ {
-				res, err := SolveSetAgreement(SetAgreementConfig{
+				res, err := weakestfd.SolveSetAgreement(weakestfd.SetAgreementConfig{
 					N: 5, Algorithm: alg, Proposals: benchProposals(5),
 					CrashAt: map[int]int64{2: 25}, StabilizeAt: 120,
 					Seed: int64(i), Budget: 1 << 22,
@@ -354,11 +358,11 @@ func BenchmarkAblationBaselines(b *testing.B) {
 // BenchmarkComposed measures the Figure 3 ∘ Figure 1 composition: solving
 // set agreement through the generic reduction from each stable detector.
 func BenchmarkComposed(b *testing.B) {
-	for _, det := range []Detector{Omega, OmegaN, StableEvPerfect} {
+	for _, det := range []weakestfd.Detector{weakestfd.Omega, weakestfd.OmegaN, weakestfd.StableEvPerfect} {
 		b.Run(det.String(), func(b *testing.B) {
 			var steps int64
 			for i := 0; i < b.N; i++ {
-				res, err := SolveWithStableDetector(ComposeConfig{
+				res, err := weakestfd.SolveWithStableDetector(weakestfd.ComposeConfig{
 					N: 4, From: det, Proposals: benchProposals(4),
 					StabilizeAt: 100, Seed: int64(i), Budget: 1 << 22,
 				})
@@ -378,7 +382,7 @@ func BenchmarkComposed(b *testing.B) {
 func BenchmarkTimingImplementation(b *testing.B) {
 	var steps int64
 	for i := 0; i < b.N; i++ {
-		res, err := SolveWithTimingAssumptions(TimedConfig{
+		res, err := weakestfd.SolveWithTimingAssumptions(weakestfd.TimedConfig{
 			N: 4, Proposals: benchProposals(4), CrashAt: map[int]int64{1: 300},
 			GST: 800, Bound: 8, Seed: int64(i),
 		})
@@ -463,4 +467,40 @@ func BenchmarkAgreementBaselines(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkLabMatrix drives the trimmed scenario matrix through the
+// internal/lab engine at one worker and at GOMAXPROCS workers: the ratio of
+// the two ns/op numbers is the engine's parallel speedup on this machine.
+// The aggregate results must be identical across worker counts (see
+// lab.DeriveSeed) — asserted via the fingerprints after the timed loops.
+func BenchmarkLabMatrix(b *testing.B) {
+	scs, err := lab.ExpandAll(scenarios.Quick(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	fingerprints := make(map[int]string)
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			var rep *lab.Report
+			for i := 0; i < b.N; i++ {
+				rep = lab.Run(scs, lab.Options{Workers: workers})
+				if rep.Failed != 0 {
+					b.Fatalf("%d runs failed", rep.Failed)
+				}
+			}
+			b.StopTimer()
+			fingerprints[workers] = rep.Fingerprint()
+			b.ReportMetric(float64(len(scs)), "scenarios/op")
+		})
+	}
+	var first string
+	for workers, fp := range fingerprints {
+		if first == "" {
+			first = fp
+		}
+		if fp != first {
+			b.Fatalf("fingerprint at workers=%d differs: %s vs %s", workers, fp, first)
+		}
+	}
 }

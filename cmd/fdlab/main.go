@@ -2,12 +2,14 @@
 //
 //	fdlab extract   — Figure 3: extract Υ^f from a stable detector
 //	fdlab falsify   — Theorems 1/5: the adversary against Ω^f extractors
+//	fdlab matrix    — run scenario families through the internal/lab engine
 //
 // Examples:
 //
 //	fdlab extract -n 5 -from omega -stabilize 200 -crash 2:500
 //	fdlab extract -n 5 -from omegaF -f 2 -seed 3
 //	fdlab falsify -n 5 -f 4 -candidate staleness -switches 30
+//	fdlab matrix -family waves -seeds 5 -workers 8 -json waves.json
 package main
 
 import (
@@ -15,9 +17,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"weakestfd"
 	"weakestfd/internal/cli"
+	"weakestfd/internal/lab"
+	"weakestfd/internal/lab/scenarios"
 )
 
 func main() {
@@ -31,14 +36,47 @@ func main() {
 		runExtract(os.Args[2:])
 	case "falsify":
 		runFalsify(os.Args[2:])
+	case "matrix":
+		runMatrix(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: fdlab <extract|falsify> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: fdlab <extract|falsify|matrix> [flags]")
 	os.Exit(2)
+}
+
+func runMatrix(args []string) {
+	fs := flag.NewFlagSet("matrix", flag.ExitOnError)
+	var (
+		family      = fs.String("family", "", "scenario family (default: all)")
+		seeds       = fs.Int("seeds", 3, "seeds per scenario")
+		workers     = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		jsonPath    = fs.String("json", "", "write the aggregate report to this file as JSON")
+		fingerprint = fs.Bool("fingerprint", false, "print the deterministic result hash")
+		list        = fs.Bool("list", false, "list scenario families and exit")
+	)
+	_ = fs.Parse(args)
+
+	if *list {
+		fmt.Println(strings.Join(scenarios.FamilyNames(), "\n"))
+		return
+	}
+	matrices, err := scenarios.Select(*family, *seeds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scs, err := lab.ExpandAll(matrices)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := lab.Drive(os.Stdout, scs, lab.DriveConfig{
+		Workers: *workers, JSONPath: *jsonPath, Fingerprint: *fingerprint,
+	}); err != nil {
+		log.Fatal(err)
+	}
 }
 
 func runExtract(args []string) {

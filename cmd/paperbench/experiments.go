@@ -3,154 +3,76 @@ package main
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"weakestfd"
 	"weakestfd/internal/check"
 	"weakestfd/internal/converge"
 	"weakestfd/internal/core"
 	"weakestfd/internal/fd"
+	"weakestfd/internal/lab"
+	"weakestfd/internal/lab/scenarios"
 	"weakestfd/internal/sim"
 )
 
-// patternSpec names a failure-pattern generator for a system of n processes.
-type patternSpec struct {
-	name  string
-	build func(n int) map[int]int64
+// runFamily expands one scenario family and drives it through the lab
+// engine's worker pool. The returned summaries are deterministic in (family,
+// seeds) — independent of the worker count.
+func runFamily(m lab.Matrix, workers int) []lab.ScenarioSummary {
+	return lab.Run(m.Expand(), lab.Options{Workers: workers}).Scenarios
 }
 
-func patternSpecs() []patternSpec {
-	return []patternSpec{
-		{"failure-free", func(int) map[int]int64 { return nil }},
-		{"one-crash", func(n int) map[int]int64 {
-			return map[int]int64{n / 2: 11}
-		}},
-		{"wait-free", func(n int) map[int]int64 {
-			m := make(map[int]int64, n-1)
-			for i := 1; i < n; i++ {
-				m[i] = int64(9 * i)
-			}
-			return m
-		}},
+// atoi converts an axis value that is numeric by construction.
+func atoi(s string) int {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		panic(fmt.Sprintf("paperbench: non-numeric axis value %q", s))
 	}
+	return n
 }
 
-// runE1 sweeps the Figure 1 protocol: system size × failure pattern × Υ
-// stabilization time, reporting step counts and the number of distinct
-// decisions (the paper's bound: ≤ n).
-func runE1(w *tableWriter, seeds int) {
-	w.setHeader("n+1", "pattern", "Υ stabilize", "median steps", "max steps", "max distinct", "bound", "ok")
-	for _, n := range []int{3, 5, 7, 9} {
-		for _, ps := range patternSpecs() {
-			for _, ts := range []int64{0, 200, 2000} {
-				var st stats
-				maxDistinct := 0
-				ok := true
-				for seed := 0; seed < seeds; seed++ {
-					res, err := weakestfd.SolveSetAgreement(weakestfd.SetAgreementConfig{
-						N: n, Proposals: proposals(n),
-						CrashAt: ps.build(n), StabilizeAt: ts,
-						Seed: int64(seed), Budget: 1 << 22,
-					})
-					if err != nil {
-						ok = false
-						continue
-					}
-					st.add(res.Steps)
-					if len(res.Distinct) > maxDistinct {
-						maxDistinct = len(res.Distinct)
-					}
-				}
-				w.addRow(n, ps.name, ts, st.median(), st.max(), maxDistinct, n-1, ok && maxDistinct <= n-1)
-			}
-		}
+// runE1 sweeps the Figure 1 protocol — system size × failure pattern × Υ
+// stabilization time × schedule — through the lab engine, reporting step
+// counts and the number of distinct decisions (the paper's bound: ≤ n).
+func runE1(w *tableWriter, seeds, workers int) {
+	w.setHeader("n+1", "pattern", "Υ stabilize", "schedule", "p50 steps", "p99 steps", "max distinct", "bound", "ok")
+	for _, s := range runFamily(scenarios.Fig1(seeds), workers) {
+		n := atoi(s.Params["n"])
+		steps := s.Metric("steps")
+		distinct := int(s.Metric("distinct").Max)
+		w.addRow(n, s.Params["pattern"], s.Params["stabilize"], s.Params["schedule"],
+			int64(steps.P50), int64(steps.P99), distinct, n-1,
+			s.Failed == 0 && distinct <= n-1)
 	}
 	w.note("paper claim: every run terminates with ≤ n distinct proposed values (Theorem 2)")
 }
 
-// runE2 sweeps the Figure 2 protocol over the resilience grid.
-func runE2(w *tableWriter, seeds int) {
-	w.setHeader("n+1", "f", "crashes", "median steps", "max distinct", "bound", "ok")
-	for _, n := range []int{4, 6, 8} {
-		for f := 1; f < n; f += max(1, (n-1)/3) {
-			for _, crashed := range []int{0, f} {
-				var st stats
-				maxDistinct := 0
-				ok := true
-				crashAt := make(map[int]int64, crashed)
-				for i := 0; i < crashed; i++ {
-					crashAt[i] = int64(13 * (i + 1))
-				}
-				for seed := 0; seed < seeds; seed++ {
-					res, err := weakestfd.SolveSetAgreement(weakestfd.SetAgreementConfig{
-						N: n, F: f, Algorithm: weakestfd.UpsilonFFig2,
-						Proposals: proposals(n), CrashAt: crashAt,
-						StabilizeAt: 150, Seed: int64(seed), Budget: 1 << 22,
-					})
-					if err != nil {
-						ok = false
-						continue
-					}
-					st.add(res.Steps)
-					if len(res.Distinct) > maxDistinct {
-						maxDistinct = len(res.Distinct)
-					}
-				}
-				w.addRow(n, f, crashed, st.median(), maxDistinct, f, ok && maxDistinct <= f)
-			}
-		}
+// runE2 sweeps the Figure 2 protocol over the resilience grid through the
+// lab engine.
+func runE2(w *tableWriter, seeds, workers int) {
+	w.setHeader("n+1", "f", "crashes", "p50 steps", "max distinct", "bound", "ok")
+	for _, s := range runFamily(scenarios.Fig2(seeds), workers) {
+		f := atoi(s.Params["f"])
+		distinct := int(s.Metric("distinct").Max)
+		w.addRow(s.Params["n"], f, s.Params["crashes"], int64(s.Metric("steps").P50),
+			distinct, f, s.Failed == 0 && distinct <= f)
 	}
 	w.note("paper claim: f-set agreement in E_f using Υ^f and registers (Theorem 6)")
 }
 
-// runE3 extracts Υ^f from each stable detector and reports the extraction's
-// stabilization lag.
-func runE3(w *tableWriter, seeds int) {
-	w.setHeader("source D", "pattern", "stable-set size", "median stabilized-at", "legal")
-	dets := []struct {
-		name string
-		d    weakestfd.Detector
-	}{
-		{"Ω", weakestfd.Omega},
-		{"Ωn", weakestfd.OmegaN},
-		{"Ω^f(f=2)", weakestfd.OmegaF},
-		{"stable ◇P", weakestfd.StableEvPerfect},
-	}
-	for _, det := range dets {
-		for _, ps := range []struct {
-			name  string
-			crash map[int]int64
-		}{
-			{"failure-free", nil},
-			{"one-crash", map[int]int64{2: 400}},
-		} {
-			var st stats
-			legal := true
-			size := 0
-			for seed := 0; seed < seeds; seed++ {
-				f := 4
-				if det.d == weakestfd.OmegaF {
-					f = 2
-				}
-				res, err := weakestfd.ExtractUpsilon(weakestfd.ExtractConfig{
-					N: 5, F: f, From: det.d,
-					StabilizeAt: 150, CrashAt: ps.crash,
-					Seed: int64(seed), Budget: 80_000,
-				})
-				if err != nil {
-					legal = false
-					continue
-				}
-				st.add(res.StableFrom)
-				size = len(res.Stable)
-			}
-			w.addRow(det.name, ps.name, size, st.median(), legal)
-		}
+// runE3 extracts Υ^f from each stable detector through the lab engine and
+// reports the extraction's stabilization point.
+func runE3(w *tableWriter, seeds, workers int) {
+	w.setHeader("source D", "pattern", "stable-set size", "p50 stabilized-at", "legal")
+	for _, s := range runFamily(scenarios.Extraction(seeds), workers) {
+		w.addRow(s.Params["source"], s.Params["pattern"], int(s.Metric("stable-size").Max),
+			int64(s.Metric("stable-from").P50), s.Failed == 0)
 	}
 	w.note("paper claim: any stable f-non-trivial D yields Υ^f via Figure 3 (Theorem 10)")
 }
 
 // runE4 runs the Theorem 1 adversary against every candidate extractor.
-func runE4(w *tableWriter, _ int) {
+func runE4(w *tableWriter, _, _ int) {
 	w.setHeader("n+1", "candidate", "forced switches", "stuck", "violation witness", "falsified")
 	for _, n := range []int{4, 6, 8} {
 		for _, ext := range core.AllExtractors() {
@@ -168,24 +90,20 @@ func runE4(w *tableWriter, _ int) {
 	w.note("paper claim: every Ωn-from-Υ algorithm has a run with non-stabilizing output (Theorem 1)")
 }
 
-// runE5 is the f-resilient generalization of E4.
-func runE5(w *tableWriter, _ int) {
-	w.setHeader("n+1", "f", "candidate", "forced switches", "stuck", "falsified")
-	n := 7
-	for f := 2; f <= n-1; f += 2 {
-		for _, ext := range core.AllExtractors() {
-			res := core.RunAdversary(core.AdversaryConfig{
-				N: n, F: f,
-				Extractor: ext, TargetSwitches: 20, Budget: 1 << 22,
-			})
-			w.addRow(n, f, ext.Name, res.Switches, res.Stuck, res.Falsified(20))
-		}
+// runE5 is the f-resilient generalization of E4, driven as the lab engine's
+// adversary family.
+func runE5(w *tableWriter, _, workers int) {
+	w.setHeader("candidate", "n+1", "resilience", "forced switches", "stuck", "falsified")
+	for _, s := range runFamily(scenarios.Adversary(), workers) {
+		w.addRow(s.Params["candidate"], s.Params["n"], s.Params["resilience"],
+			int64(s.Metric("switches").Max), s.Metric("stuck").Max == 1,
+			s.Failed == 0 && s.Metric("falsified").Min == 1)
 	}
 	w.note("paper claim: Υ^f is strictly weaker than Ω^f for 2 ≤ f ≤ n (Theorem 5)")
 }
 
 // runE6 checks the two-process equivalence Υ ≡ Ω in both directions.
-func runE6(w *tableWriter, seeds int) {
+func runE6(w *tableWriter, seeds, _ int) {
 	w.setHeader("direction", "pattern", "seeds ok", "stable output example")
 	patterns := []struct {
 		name string
@@ -219,7 +137,7 @@ func runE6(w *tableWriter, seeds int) {
 }
 
 // runE7 runs the Υ¹ → Ω reduction in E_1.
-func runE7(w *tableWriter, seeds int) {
+func runE7(w *tableWriter, seeds, _ int) {
 	w.setHeader("pattern", "Υ¹ stable set", "elected leader", "leader correct", "ok/seeds")
 	n := 4
 	cases := []struct {
@@ -274,7 +192,7 @@ func runE7(w *tableWriter, seeds int) {
 }
 
 // runE8 assembles the Corollary 3/4 separation table.
-func runE8(w *tableWriter, seeds int) {
+func runE8(w *tableWriter, seeds, _ int) {
 	w.setHeader("claim", "evidence", "holds")
 	// (a) Ωn → Υ works (complement reduction, spec-checked).
 	n := 5
@@ -348,7 +266,7 @@ func runE8(w *tableWriter, seeds int) {
 }
 
 // runE9 demonstrates the impossibility baselines.
-func runE9(w *tableWriter, _ int) {
+func runE9(w *tableWriter, _, _ int) {
 	w.setHeader("configuration", "schedule", "budget", "decided", "matches theory")
 	budget := int64(50_000)
 
@@ -390,7 +308,7 @@ func runE9(w *tableWriter, _ int) {
 }
 
 // runE10 reports the ablations.
-func runE10(w *tableWriter, seeds int) {
+func runE10(w *tableWriter, seeds, _ int) {
 	w.setHeader("ablation", "configuration", "median steps", "ratio")
 	// (a) snapshot implementation inside Figure 1.
 	var atomicSteps, afekSteps stats
@@ -479,7 +397,7 @@ func max(a, b int) int {
 
 // runE11 implements Υ from heartbeats under partial synchrony, solves set
 // agreement with it, and shows pure asynchrony defeating the implementation.
-func runE11(w *tableWriter, seeds int) {
+func runE11(w *tableWriter, seeds, _ int) {
 	w.setHeader("configuration", "schedule", "outcome", "matches theory")
 
 	// (a) Heartbeat Υ + Figure 1 under eventual synchrony: decides.

@@ -1,12 +1,22 @@
-// Command paperbench regenerates every experiment table of the
-// reproduction, one per figure/theorem of the paper (see DESIGN.md's
-// per-experiment index and EXPERIMENTS.md for recorded results).
+// Command paperbench regenerates the reproduction's experiment data.
+//
+// The default mode expands the full scenario matrix (internal/lab/scenarios)
+// and fans the runs out over a worker pool via the internal/lab engine.
+// Per-run seeds are derived from scenario names alone, so the aggregate
+// results are bit-identical at -workers=1 and -workers=N — only the
+// wall-clock changes.
 //
 // Usage:
 //
-//	paperbench            # run all experiments, print tables
-//	paperbench -run E4    # run one experiment
-//	paperbench -seeds 10  # more seeds per configuration
+//	paperbench                      # full scenario matrix, parallel
+//	paperbench -run fig1            # one scenario family
+//	paperbench -workers 1           # serial (determinism comparison)
+//	paperbench -fingerprint         # print the deterministic result hash
+//	paperbench -json bench.json     # write the aggregate report as JSON
+//	paperbench -list                # list scenario families
+//	paperbench -tables              # legacy per-theorem tables E1..E11
+//	paperbench -run E4              # one legacy experiment table
+//	paperbench -seeds 10            # more seeds per configuration
 package main
 
 import (
@@ -16,12 +26,15 @@ import (
 	"os"
 	"sort"
 	"strings"
+
+	"weakestfd/internal/lab"
+	"weakestfd/internal/lab/scenarios"
 )
 
 type experiment struct {
 	id    string
 	title string
-	run   func(w *tableWriter, seeds int)
+	run   func(w *tableWriter, seeds, workers int)
 }
 
 func experiments() []experiment {
@@ -44,26 +57,77 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("paperbench: ")
 	var (
-		runFilter = flag.String("run", "", "run only the experiment with this id (e.g. E3)")
-		seeds     = flag.Int("seeds", 5, "seeds per configuration")
+		runFilter   = flag.String("run", "", "run one legacy experiment (E1..E11) or one scenario family")
+		seeds       = flag.Int("seeds", 3, "seeds per configuration")
+		workers     = flag.Int("workers", 0, "worker pool size for the scenario matrix (0 = GOMAXPROCS)")
+		jsonPath    = flag.String("json", "", "write the aggregate matrix report to this file as JSON")
+		fingerprint = flag.Bool("fingerprint", false, "print the deterministic result hash of the matrix run")
+		list        = flag.Bool("list", false, "list scenario families and exit")
+		tables      = flag.Bool("tables", false, "run the legacy per-theorem tables E1..E11")
 	)
 	flag.Parse()
 
+	if *list {
+		for _, f := range scenarios.FamilyNames() {
+			fmt.Println(f)
+		}
+		return
+	}
+	if *tables || isLegacyID(*runFilter) {
+		if *jsonPath != "" || *fingerprint {
+			log.Fatal("-json and -fingerprint apply only to matrix mode, not the legacy tables")
+		}
+		runLegacy(*runFilter, *seeds, *workers)
+		return
+	}
+	if err := runMatrix(*runFilter, *seeds, *workers, *jsonPath, *fingerprint); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// isLegacyID reports whether the -run filter names a legacy experiment.
+func isLegacyID(id string) bool {
+	for _, e := range experiments() {
+		if strings.EqualFold(id, e.id) {
+			return true
+		}
+	}
+	return false
+}
+
+// runLegacy prints the per-theorem tables (all, or the one matching id).
+func runLegacy(id string, seeds, workers int) {
 	any := false
 	for _, e := range experiments() {
-		if *runFilter != "" && !strings.EqualFold(*runFilter, e.id) {
+		if id != "" && !strings.EqualFold(id, e.id) {
 			continue
 		}
 		any = true
 		fmt.Printf("## %s: %s\n\n", e.id, e.title)
 		w := newTableWriter(os.Stdout)
-		e.run(w, *seeds)
+		e.run(w, seeds, workers)
 		w.flush()
 		fmt.Println()
 	}
 	if !any {
-		log.Fatalf("no experiment matches -run %q", *runFilter)
+		log.Fatalf("no experiment matches -run %q", id)
 	}
+}
+
+// runMatrix expands the scenario matrix (one family, or all of them) and
+// drives it through the lab engine.
+func runMatrix(family string, seeds, workers int, jsonPath string, fingerprint bool) error {
+	matrices, err := scenarios.Select(family, seeds)
+	if err != nil {
+		return err
+	}
+	scs, err := lab.ExpandAll(matrices)
+	if err != nil {
+		return err
+	}
+	return lab.Drive(os.Stdout, scs, lab.DriveConfig{
+		Workers: workers, JSONPath: jsonPath, Fingerprint: fingerprint,
+	})
 }
 
 // tableWriter accumulates rows and prints an aligned text table.
@@ -133,7 +197,8 @@ func pad(s string, n int) string {
 	return s + strings.Repeat(" ", n-len(s))
 }
 
-// stats summarizes a sample of measurements.
+// stats summarizes a sample of measurements (used by the legacy tables that
+// do not route through internal/lab).
 type stats struct{ vals []int64 }
 
 func (s *stats) add(v int64) { s.vals = append(s.vals, v) }

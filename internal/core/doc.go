@@ -1,0 +1,42 @@
+// Package core implements the paper's primary contribution: the failure
+// detectors Υ and Υ^f, the set-agreement protocols that use them, the
+// generic extraction of Υ^f from any stable non-trivial failure detector,
+// and the adversary constructions behind the separation theorems.
+//
+// How the code's names map to the paper's definitions:
+//
+//   - UpsilonSpec (constructors Upsilon, UpsilonF) is Υ / Υ^f (Sections 4
+//     and 5.3): eventually all correct processes permanently output the
+//     same set U with |U| ≥ n+1−f, where U is *not* the set of correct
+//     processes. That single "wrong set" bit is the weakest failure
+//     information the paper exhibits; Legal/LegalStable are the executable
+//     specification.
+//   - Fig1 (NewFig1) is Figure 1 / Theorem 2: n-set agreement from Υ and
+//     registers, wait-free. Fig2 (NewFig2) is Figure 2 / Theorem 6: f-set
+//     agreement from Υ^f in E_f. Both round-alternate a k-converge attempt
+//     (internal/converge) with an Υ query that breaks symmetry when the
+//     output set differs from the processes still running.
+//   - Extraction (NewExtraction) is Figure 3 / Theorem 10: the generic
+//     emulation of Υ^f from any stable f-non-trivial detector D, driven by
+//     Phi — the map φ_D of Corollary 9 carrying each stable output d to
+//     (correct(σ), w(σ)) for a non-sample σ of D. The paper proves φ_D
+//     exists non-constructively; phi.go exhibits it per concrete detector
+//     (PhiOmega, PhiOmegaF, PhiStableEvPerfect).
+//   - NewComposed chains Figure 3 into Figure 1 as parallel per-process
+//     tasks — Theorem 10 made operational: any stable non-trivial detector
+//     solves set agreement.
+//   - ComplementOfOmega / ComplementOfOmegaF / OmegaFromUpsilon2 /
+//     NewUpsilon1ToOmega are the local reductions of Sections 4 and 5.3:
+//     Ω^f → Υ^f by complementing the trusted set, and the two-process and
+//     E_1 equivalences in the other direction.
+//   - Extractor / RunAdversary (adversary.go) is the Theorem 1/5 machinery:
+//     a constructive adversary that, against any candidate algorithm
+//     claiming to extract Ω^f from Υ^f, builds a run whose extracted output
+//     either switches forever or violates Ω^f — Υ is strictly weaker than
+//     Ωn (the Ωn-boost comparator of Corollary 4 lives in
+//     internal/agreement's boosted consensus).
+//   - NewHeartbeatUpsilon (heartbeat.go) is the Section 1 observation that
+//     timing assumptions are where failure information comes from: Υ
+//     implemented from heartbeats and adaptive timeouts, valid under an
+//     eventually synchronous schedule and defeated by pure asynchrony.
+package core

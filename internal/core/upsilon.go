@@ -1,9 +1,3 @@
-// Package core implements the paper's primary contribution: the failure
-// detectors Υ and Υ^f (Sections 4 and 5.3), the set-agreement protocols that
-// use them (Figures 1 and 2), the generic extraction of Υ^f from any stable
-// f-non-trivial failure detector (Figure 3, Theorem 10), the complement
-// reductions of Section 4/5.3 and the adversary constructions of Theorems 1
-// and 5.
 package core
 
 import (

@@ -1,16 +1,3 @@
-// Package fd provides the failure detector framework of the paper's model
-// (Section 3.2) — oracles as functions from (process, time) to an output
-// range — together with the classical detectors the paper compares against:
-// Ω (Chandra–Hadzilacos–Toueg), Ωn and its f-resilient family Ω^f (Neiger),
-// a stable eventually-perfect detector, anti-Ω (Zielinski) and the dummy
-// detector used to define triviality.
-//
-// A detector specification maps each failure pattern to a set of allowed
-// histories. This package realizes specifications as concrete histories: an
-// arbitrary (seeded, deterministic) output before a stabilization time, and
-// a spec-compliant stable output afterwards — which is exactly the behaviour
-// space the specifications allow — and provides checkers that verify
-// compliance of any oracle over a finite horizon.
 package fd
 
 import (

@@ -1,0 +1,27 @@
+// Package lab is a deterministic parallel experiment engine: it expands
+// declarative scenario matrices into seeded runs, fans the runs out over a
+// worker pool, and aggregates per-scenario metrics into distribution
+// summaries with stable JSON output.
+//
+// The package is deliberately generic — it knows nothing about failure
+// detectors. A Matrix declares a scenario family as data: an ordered list of
+// named Axes (in this repository: detector class × adversary schedule ×
+// crash pattern × system size), a per-cell Build function producing a
+// RunFunc, and a seed count. Expand takes the cartesian product of the axes
+// and yields one Scenario per cell; Run executes every (scenario, seed)
+// pair on a pool of workers.
+//
+// Determinism is the design center. Each run's seed is derived purely from
+// the scenario's name and the seed index (DeriveSeed), never from worker
+// identity, scheduling order, wall-clock time or a shared RNG, and each
+// result is written into a pre-allocated slot keyed by (scenario, seed).
+// Aggregate results are therefore bit-identical at Workers=1 and Workers=N;
+// Report.Fingerprint hashes the deterministic portion so callers can assert
+// it.
+//
+// The summaries (mean/p50/p99/min/max per metric, failure counts, deduped
+// error strings) serialize to JSON for trajectory tracking across commits,
+// and render as aligned text tables for the command-line tools. The scenario
+// families that drive this engine for the paper's experiments live in the
+// scenarios subpackage.
+package lab

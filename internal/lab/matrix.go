@@ -1,0 +1,188 @@
+package lab
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Metrics is one run's named measurements (e.g. "steps", "distinct").
+type Metrics map[string]float64
+
+// RunFunc executes one seeded run of a scenario. It must be safe to call
+// concurrently with other RunFuncs (and with itself under different seeds):
+// every call builds its own simulation state. A non-nil error marks the run
+// failed; its message is aggregated into the scenario summary. Metrics
+// returned alongside an error are still aggregated — return them when the
+// run produced diagnostics worth keeping (e.g. how far it got before the
+// claim it checks went wrong).
+type RunFunc func(seed int64) (Metrics, error)
+
+// Value is one named setting of an Axis. V carries the typed payload the
+// matrix Build function consumes; Name is what reports show.
+type Value struct {
+	Name string
+	V    any
+}
+
+// Axis is one named dimension of a scenario matrix.
+type Axis struct {
+	Name   string
+	Values []Value
+}
+
+// Vals is shorthand for an axis whose values are their own names.
+func Vals[T any](name string, vs ...T) Axis {
+	ax := Axis{Name: name}
+	for _, v := range vs {
+		ax.Values = append(ax.Values, Value{Name: fmt.Sprint(v), V: v})
+	}
+	return ax
+}
+
+// Point is one cell of the cartesian product: axis name → chosen value.
+type Point map[string]Value
+
+// Get returns the payload chosen for the axis, panicking on a name that is
+// not an axis of the matrix (always a programming error in a family).
+func (pt Point) Get(axis string) any {
+	v, ok := pt[axis]
+	if !ok {
+		panic(fmt.Sprintf("lab: point has no axis %q", axis))
+	}
+	return v.V
+}
+
+// Int returns the axis payload as an int.
+func (pt Point) Int(axis string) int { return pt.Get(axis).(int) }
+
+// Int64 returns the axis payload as an int64.
+func (pt Point) Int64(axis string) int64 { return pt.Get(axis).(int64) }
+
+// Name returns the display name chosen for the axis.
+func (pt Point) Name(axis string) string {
+	v, ok := pt[axis]
+	if !ok {
+		panic(fmt.Sprintf("lab: point has no axis %q", axis))
+	}
+	return v.Name
+}
+
+// Matrix declares a scenario family as data: the cartesian product of Axes,
+// with Build turning each cell into a runnable closure.
+type Matrix struct {
+	// Family names the scenario family (e.g. "fig1", "waves").
+	Family string
+	// Axes are the matrix dimensions, in report order.
+	Axes []Axis
+	// Seeds is the number of seeded runs per cell (min 1).
+	Seeds int
+	// Skip, when non-nil, prunes cells whose axis combination is illegal
+	// (e.g. more crashes than the resilience admits).
+	Skip func(Point) bool
+	// Build returns the run closure for one cell.
+	Build func(Point) RunFunc
+}
+
+// Expand takes the cartesian product of the matrix axes and returns one
+// Scenario per non-skipped cell, in axis order. Scenario names are
+// "family/axis1=v1/axis2=v2/…" and are unique within the matrix.
+func (m Matrix) Expand() []Scenario {
+	if m.Build == nil {
+		panic(fmt.Sprintf("lab: matrix %q has no Build", m.Family))
+	}
+	seeds := m.Seeds
+	if seeds < 1 {
+		seeds = 1
+	}
+	var out []Scenario
+	pt := make(Point, len(m.Axes))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(m.Axes) {
+			if m.Skip != nil && m.Skip(pt) {
+				return
+			}
+			cell := make(Point, len(pt))
+			params := make(map[string]string, len(pt))
+			parts := make([]string, 0, len(m.Axes)+1)
+			parts = append(parts, m.Family)
+			for _, ax := range m.Axes {
+				cell[ax.Name] = pt[ax.Name]
+				params[ax.Name] = pt[ax.Name].Name
+				parts = append(parts, ax.Name+"="+pt[ax.Name].Name)
+			}
+			out = append(out, Scenario{
+				Family: m.Family,
+				Name:   strings.Join(parts, "/"),
+				Params: params,
+				Seeds:  seeds,
+				Run:    m.Build(cell),
+			})
+			return
+		}
+		for _, v := range m.Axes[i].Values {
+			pt[m.Axes[i].Name] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// Scenario is one fully-expanded cell of a Matrix: a named, parameterized
+// run configuration plus the seeded closure that executes it.
+type Scenario struct {
+	Family string
+	Name   string
+	Params map[string]string
+	Seeds  int
+	Run    RunFunc
+}
+
+// ExpandAll expands every matrix and verifies scenario names are globally
+// unique (summaries are keyed by name).
+func ExpandAll(ms []Matrix) ([]Scenario, error) {
+	var out []Scenario
+	seen := make(map[string]bool)
+	for _, m := range ms {
+		for _, s := range m.Expand() {
+			if seen[s.Name] {
+				return nil, fmt.Errorf("lab: duplicate scenario name %q", s.Name)
+			}
+			seen[s.Name] = true
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// Families returns the distinct family names of the scenarios, in first-seen
+// order.
+func Families(scs []Scenario) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, s := range scs {
+		if !seen[s.Family] {
+			seen[s.Family] = true
+			out = append(out, s.Family)
+		}
+	}
+	return out
+}
+
+// MetricNames returns the sorted union of metric names in the summaries.
+func MetricNames(sums []ScenarioSummary) []string {
+	seen := make(map[string]bool)
+	for _, s := range sums {
+		for name := range s.Metrics {
+			seen[name] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

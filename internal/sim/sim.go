@@ -1,15 +1,3 @@
-// Package sim implements the paper's model of computation (Section 3):
-// a system of N = n+1 crash-prone processes taking atomic steps on shared
-// objects and failure detector modules, driven by an explicit schedule.
-//
-// The runner serializes all process execution — exactly one process
-// goroutine is runnable at any instant, and the scheduler decides which.
-// Runs are therefore deterministic functions of (schedule, failure pattern,
-// oracle histories) and are data-race-free by construction.
-//
-// Logical time is the global step counter: step k happens at time k, matching
-// the paper's non-decreasing time lists T with at most one step per process
-// per instant.
 package sim
 
 import (
