@@ -470,37 +470,82 @@ func BenchmarkAgreementBaselines(b *testing.B) {
 }
 
 // BenchmarkLabMatrix drives the trimmed scenario matrix through the
-// internal/lab engine at one worker and at GOMAXPROCS workers: the ratio of
-// the two ns/op numbers is the engine's parallel speedup on this machine.
-// The aggregate results must be identical across worker counts (see
-// lab.DeriveSeed) — asserted via the fingerprints after the timed loops.
+// internal/lab engine across both execution engines (the default step-machine
+// runner and the legacy goroutine runner) and across worker counts. The
+// machine/goroutine ns/op ratio is the step-machine speedup; the
+// workers1/workersN ratio is the pool's parallel speedup. The aggregate
+// results must be identical across all four cells — asserted via the
+// fingerprints after the timed loops.
 func BenchmarkLabMatrix(b *testing.B) {
 	scs, err := lab.ExpandAll(scenarios.Quick(2))
 	if err != nil {
 		b.Fatal(err)
 	}
-	fingerprints := make(map[int]string)
-	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
-		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
-			var rep *lab.Report
-			for i := 0; i < b.N; i++ {
-				rep = lab.Run(scs, lab.Options{Workers: workers})
-				if rep.Failed != 0 {
-					b.Fatalf("%d runs failed", rep.Failed)
-				}
-			}
-			b.StopTimer()
-			fingerprints[workers] = rep.Fingerprint()
-			b.ReportMetric(float64(len(scs)), "scenarios/op")
-		})
+	runners := []struct {
+		name   string
+		legacy bool
+	}{
+		{"machine", false},
+		{"goroutine", true},
 	}
-	var first string
-	for workers, fp := range fingerprints {
+	fingerprints := make(map[string]string)
+	for _, runner := range runners {
+		for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+			name := fmt.Sprintf("%s/workers%d", runner.name, workers)
+			b.Run(name, func(b *testing.B) {
+				weakestfd.SetLegacyRunner(runner.legacy)
+				defer weakestfd.SetLegacyRunner(false)
+				b.ReportAllocs()
+				var rep *lab.Report
+				for i := 0; i < b.N; i++ {
+					rep = lab.Run(scs, lab.Options{Workers: workers})
+					if rep.Failed != 0 {
+						b.Fatalf("%d runs failed", rep.Failed)
+					}
+				}
+				b.StopTimer()
+				fingerprints[name] = rep.Fingerprint()
+				b.ReportMetric(float64(len(scs)), "scenarios/op")
+			})
+		}
+	}
+	var first, firstName string
+	for name, fp := range fingerprints {
 		if first == "" {
-			first = fp
+			first, firstName = fp, name
 		}
 		if fp != first {
-			b.Fatalf("fingerprint at workers=%d differs: %s vs %s", workers, fp, first)
+			b.Fatalf("fingerprint at %s differs from %s: %s vs %s", name, firstName, fp, first)
 		}
+	}
+}
+
+// BenchmarkRunnerStepThroughput compares the raw per-step cost of the two
+// engines on a long budget-bounded run (the FD-free livelock, 100k steps per
+// op): ns/op ÷ 100k is the engine's cost per simulated step. This is the
+// number the step-machine runner exists to shrink.
+func BenchmarkRunnerStepThroughput(b *testing.B) {
+	const budget = 100_000
+	for _, runner := range []struct {
+		name string
+		r    weakestfd.Runner
+	}{
+		{"machine", weakestfd.MachineRunner},
+		{"goroutine", weakestfd.GoroutineRunner},
+	} {
+		b.Run(runner.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, err := weakestfd.SolveSetAgreement(weakestfd.SetAgreementConfig{
+					N: 4, Algorithm: weakestfd.AsyncAttempt, Proposals: benchProposals(4),
+					Schedule: weakestfd.RoundRobinSchedule, Budget: budget,
+					Runner: runner.r,
+				})
+				if !errors.Is(err, weakestfd.ErrNoTermination) {
+					b.Fatalf("expected livelock, got %v", err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/budget, "ns/step")
+		})
 	}
 }

@@ -1,0 +1,173 @@
+// Command benchgate is the CI benchmark-regression gate: it compares a fresh
+// `paperbench -bench-json` report against the committed baseline and fails
+// (exit 1) when a hot path regressed.
+//
+// Checks, per benchmark present in both reports:
+//
+//   - ns/op must not exceed baseline × (1 + tolerance) — wall-clock gate;
+//   - allocs/op must not exceed baseline × (1 + tolerance) — allocation gate;
+//   - steps/op, when present in both, must match exactly — the simulation is
+//     deterministic, so any drift is a semantic change, not noise.
+//
+// Report-level checks: the machine and goroutine lab fingerprints must be
+// equal within the current report (bit-identical results across engines), the
+// machine-vs-goroutine matrix speedup must not fall below -min-speedup, and
+// the measured workloads (matrix seeds) must match.
+//
+// Wall-clock numbers only compare meaningfully on comparable hardware. When
+// the two reports disagree on GOMAXPROCS (a cheap different-machine
+// heuristic), the ns/op and allocs/op gates demote to warnings and only the
+// machine-independent checks (steps/op, fingerprints, speedup ratio) stay
+// fatal; regenerate the baseline on the gating machine to re-arm them.
+//
+// Improvements never fail the gate; they are reported so the baseline can be
+// refreshed (`paperbench -bench-json bench/baseline.json`).
+//
+// Usage:
+//
+//	benchgate -baseline bench/baseline.json -current BENCH_PR2.json
+//	benchgate -tolerance 0.2 -min-speedup 5 ...
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+)
+
+// benchReport mirrors cmd/paperbench's BenchReport (kept in sync by the
+// schema field; both sides are this repository).
+type benchReport struct {
+	Schema                    int           `json:"schema"`
+	GOMAXPROCS                int           `json:"gomaxprocs"`
+	MatrixSeeds               int           `json:"matrix_seeds"`
+	Benchmarks                []benchResult `json:"benchmarks"`
+	SpeedupMachineVsGoroutine float64       `json:"speedup_machine_vs_goroutine"`
+	FingerprintMachine        string        `json:"fingerprint_machine"`
+	FingerprintGoroutine      string        `json:"fingerprint_goroutine"`
+}
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	StepsPerOp  float64 `json:"steps_per_op"`
+	StepsPerSec float64 `json:"steps_per_sec"`
+}
+
+func load(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != 1 {
+		return nil, fmt.Errorf("%s: unsupported schema %d", path, rep.Schema)
+	}
+	return &rep, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchgate: ")
+	var (
+		baselinePath = flag.String("baseline", "bench/baseline.json", "committed baseline report")
+		currentPath  = flag.String("current", "", "freshly measured report (paperbench -bench-json)")
+		tolerance    = flag.Float64("tolerance", 0.20, "allowed fractional regression in ns/op and allocs/op")
+		minSpeedup   = flag.Float64("min-speedup", 5.0, "minimum machine-vs-goroutine matrix speedup")
+	)
+	flag.Parse()
+	if *currentPath == "" {
+		log.Fatal("-current is required")
+	}
+
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	current, err := load(*currentPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	failed := false
+	fail := func(format string, args ...any) {
+		failed = true
+		fmt.Printf("FAIL: "+format+"\n", args...)
+	}
+	// Wall-clock comparisons only mean something on comparable hardware;
+	// demote them to warnings when the reports come from different machines.
+	sameHardware := baseline.GOMAXPROCS == current.GOMAXPROCS
+	wallFail := fail
+	if !sameHardware {
+		fmt.Printf("note: baseline GOMAXPROCS=%d vs current GOMAXPROCS=%d — different machine; wall-clock gates demoted to warnings (regenerate the baseline here to re-arm)\n",
+			baseline.GOMAXPROCS, current.GOMAXPROCS)
+		wallFail = func(format string, args ...any) {
+			fmt.Printf("warn: "+format+"\n", args...)
+		}
+	}
+
+	if baseline.MatrixSeeds != current.MatrixSeeds {
+		fail("workloads differ: baseline matrix seeds %d vs current %d (pass the baseline's -seeds to paperbench -bench-json)",
+			baseline.MatrixSeeds, current.MatrixSeeds)
+	}
+	if current.FingerprintMachine != current.FingerprintGoroutine {
+		fail("runner fingerprints differ: machine %s vs goroutine %s",
+			current.FingerprintMachine, current.FingerprintGoroutine)
+	}
+	if current.SpeedupMachineVsGoroutine < *minSpeedup {
+		fail("matrix speedup %.2fx below required %.2fx",
+			current.SpeedupMachineVsGoroutine, *minSpeedup)
+	} else {
+		fmt.Printf("ok:   matrix speedup %.2fx (floor %.2fx)\n",
+			current.SpeedupMachineVsGoroutine, *minSpeedup)
+	}
+
+	base := make(map[string]benchResult, len(baseline.Benchmarks))
+	for _, b := range baseline.Benchmarks {
+		base[b.Name] = b
+	}
+	seen := 0
+	for _, cur := range current.Benchmarks {
+		b, ok := base[cur.Name]
+		if !ok {
+			fmt.Printf("note: %s has no baseline (new benchmark)\n", cur.Name)
+			continue
+		}
+		seen++
+		nsLimit := b.NsPerOp * (1 + *tolerance)
+		switch {
+		case cur.NsPerOp > nsLimit:
+			wallFail("%s: %.0f ns/op exceeds baseline %.0f ns/op by more than %.0f%%",
+				cur.Name, cur.NsPerOp, b.NsPerOp, *tolerance*100)
+		case cur.NsPerOp < b.NsPerOp*(1-*tolerance):
+			fmt.Printf("ok:   %s improved: %.0f -> %.0f ns/op (consider refreshing the baseline)\n",
+				cur.Name, b.NsPerOp, cur.NsPerOp)
+		default:
+			fmt.Printf("ok:   %s: %.0f ns/op (baseline %.0f)\n", cur.Name, cur.NsPerOp, b.NsPerOp)
+		}
+		if limit := float64(b.AllocsPerOp) * (1 + *tolerance); float64(cur.AllocsPerOp) > limit && cur.AllocsPerOp > b.AllocsPerOp+8 {
+			// Alloc counts are hardware-independent in principle, but map/GC
+			// internals vary across Go builds; gate them with the wall rules.
+			wallFail("%s: %d allocs/op exceeds baseline %d by more than %.0f%%",
+				cur.Name, cur.AllocsPerOp, b.AllocsPerOp, *tolerance*100)
+		}
+		if b.StepsPerOp > 0 && cur.StepsPerOp > 0 && b.StepsPerOp != cur.StepsPerOp {
+			fail("%s: steps/op drifted: %.1f -> %.1f (simulation is deterministic; this is a semantic change)",
+				cur.Name, b.StepsPerOp, cur.StepsPerOp)
+		}
+	}
+	if seen == 0 {
+		fail("no benchmark overlaps the baseline")
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: all checks passed")
+}

@@ -1,0 +1,286 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"weakestfd"
+	"weakestfd/internal/lab"
+	"weakestfd/internal/lab/scenarios"
+)
+
+// Benchmark mode: `paperbench -bench-json out.json` measures the hot paths
+// with testing.Benchmark and writes a machine-readable report. CI compares
+// the output against the committed bench/baseline.json via cmd/benchgate and
+// fails on regression; the report doubles as the repository's BENCH_*.json
+// performance trajectory.
+
+// BenchReport is the top-level JSON document.
+type BenchReport struct {
+	// Schema versions the document layout.
+	Schema int `json:"schema"`
+	// GoVersion and GOMAXPROCS describe the measuring environment; the gate
+	// uses GOMAXPROCS as a comparable-hardware heuristic (wall-clock checks
+	// demote to warnings when it differs from the baseline's).
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// MatrixSeeds is the seeds-per-scenario of the measured quick matrix;
+	// reports with different workloads are not comparable and the gate
+	// rejects them.
+	MatrixSeeds int `json:"matrix_seeds"`
+	// Benchmarks are the individual measurements.
+	Benchmarks []BenchResult `json:"benchmarks"`
+	// SpeedupMachineVsGoroutine is the ns/op ratio of the goroutine-runner
+	// lab matrix over the machine-runner lab matrix — the headline number of
+	// the step-machine engine. The gate enforces a floor on it.
+	SpeedupMachineVsGoroutine float64 `json:"speedup_machine_vs_goroutine"`
+	// FingerprintMachine/FingerprintGoroutine are the lab fingerprints of the
+	// quick matrix on each engine; they must be equal (bit-identical results).
+	FingerprintMachine   string `json:"fingerprint_machine"`
+	FingerprintGoroutine string `json:"fingerprint_goroutine"`
+}
+
+// BenchResult is one measurement.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// StepsPerOp is the number of simulated atomic steps one op performs
+	// (deterministic; the gate checks it exactly).
+	StepsPerOp float64 `json:"steps_per_op,omitempty"`
+	// StepsPerSec = StepsPerOp / (NsPerOp / 1e9): simulated steps per
+	// wall-clock second, the engine's throughput.
+	StepsPerSec float64 `json:"steps_per_sec,omitempty"`
+}
+
+// benchBest runs the benchmark repeatedly and keeps the fastest result: the
+// minimum is the standard low-noise wall-clock estimator, and it is what
+// keeps the ±20% CI gate from flaking on shared runners.
+func benchBest(reps int, f func(b *testing.B)) testing.BenchmarkResult {
+	var best testing.BenchmarkResult
+	bestNs := 0.0
+	for i := 0; i < reps; i++ {
+		r := testing.Benchmark(f)
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		if i == 0 || ns < bestNs {
+			best, bestNs = r, ns
+		}
+	}
+	return best
+}
+
+func newBenchResult(name string, r testing.BenchmarkResult, stepsPerOp float64) BenchResult {
+	out := BenchResult{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		StepsPerOp:  stepsPerOp,
+	}
+	if stepsPerOp > 0 && out.NsPerOp > 0 {
+		out.StepsPerSec = stepsPerOp / (out.NsPerOp / 1e9)
+	}
+	return out
+}
+
+// matrixSteps sums the simulated steps of one matrix invocation from the
+// aggregated "steps" metric (mean × samples per scenario); deterministic in
+// the scenario list.
+func matrixSteps(rep *lab.Report) float64 {
+	total := 0.0
+	for _, sc := range rep.Scenarios {
+		m := sc.Metric("steps")
+		total += m.Mean * float64(m.N)
+	}
+	return total
+}
+
+// runBenchJSON measures the benchmark suite and writes the JSON report.
+func runBenchJSON(path string, seeds int) error {
+	scs, err := lab.ExpandAll(scenarios.Quick(seeds))
+	if err != nil {
+		return err
+	}
+
+	// Deterministic preamble: fingerprints and step totals on both engines.
+	runMatrix := func(legacy bool) (*lab.Report, error) {
+		weakestfd.SetLegacyRunner(legacy)
+		defer weakestfd.SetLegacyRunner(false)
+		rep := lab.Run(scs, lab.Options{Workers: 1})
+		if rep.Failed != 0 {
+			return nil, fmt.Errorf("bench matrix (legacy=%v): %d runs failed", legacy, rep.Failed)
+		}
+		return rep, nil
+	}
+	mRep, err := runMatrix(false)
+	if err != nil {
+		return err
+	}
+	gRep, err := runMatrix(true)
+	if err != nil {
+		return err
+	}
+	report := BenchReport{
+		Schema:               1,
+		GoVersion:            runtime.Version(),
+		GOMAXPROCS:           runtime.GOMAXPROCS(0),
+		MatrixSeeds:          seeds,
+		FingerprintMachine:   mRep.Fingerprint(),
+		FingerprintGoroutine: gRep.Fingerprint(),
+	}
+	if report.FingerprintMachine != report.FingerprintGoroutine {
+		return fmt.Errorf("runner fingerprints differ: machine %s vs goroutine %s",
+			report.FingerprintMachine, report.FingerprintGoroutine)
+	}
+	steps := matrixSteps(mRep)
+
+	// Timed section. Each benchmark closure performs one full workload per
+	// iteration.
+	benchMatrix := func(legacy bool) testing.BenchmarkResult {
+		return benchBest(3, func(b *testing.B) {
+			weakestfd.SetLegacyRunner(legacy)
+			defer weakestfd.SetLegacyRunner(false)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep := lab.Run(scs, lab.Options{Workers: 1})
+				if rep.Failed != 0 {
+					b.Fatalf("%d runs failed", rep.Failed)
+				}
+			}
+		})
+	}
+	machine := benchMatrix(false)
+	goroutine := benchMatrix(true)
+	report.Benchmarks = append(report.Benchmarks,
+		newBenchResult("lab-matrix/machine", machine, steps),
+		newBenchResult("lab-matrix/goroutine", goroutine, steps),
+	)
+	mNs := float64(machine.T.Nanoseconds()) / float64(machine.N)
+	gNs := float64(goroutine.T.Nanoseconds()) / float64(goroutine.N)
+	if mNs > 0 {
+		report.SpeedupMachineVsGoroutine = gNs / mNs
+	}
+
+	for _, fam := range familyBenchmarks() {
+		fam := fam
+		// Fixed seed: every op simulates the identical run, so steps/op is
+		// deterministic and the gate can compare it exactly.
+		steps, err := fam.run(0)
+		if err != nil {
+			return fmt.Errorf("family/%s: %w", fam.name, err)
+		}
+		res := benchBest(3, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := fam.run(0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		report.Benchmarks = append(report.Benchmarks,
+			newBenchResult("family/"+fam.name, res, float64(steps)))
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(report)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bench report written to %s (matrix speedup %.2fx, fingerprint %s)\n",
+		path, report.SpeedupMachineVsGoroutine, report.FingerprintMachine[:16])
+	return nil
+}
+
+// familyBench is one per-family benchmark: a fixed configuration of the
+// family's facade entry point, run once per op on the machine runner. The
+// returned count is the run's simulated steps.
+type familyBench struct {
+	name string
+	run  func(seed int64) (int64, error)
+}
+
+func familyBenchmarks() []familyBench {
+	proposals := func(n int) []int64 {
+		out := make([]int64, n)
+		for i := range out {
+			out[i] = int64(100 + i)
+		}
+		return out
+	}
+	return []familyBench{
+		{"fig1", func(seed int64) (int64, error) {
+			res, err := weakestfd.SolveSetAgreement(weakestfd.SetAgreementConfig{
+				N: 9, Proposals: proposals(9), CrashAt: map[int]int64{1: 9, 2: 18},
+				StabilizeAt: 150, Seed: seed, Budget: 1 << 22,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return res.Steps, nil
+		}},
+		{"fig2", func(seed int64) (int64, error) {
+			res, err := weakestfd.SolveSetAgreement(weakestfd.SetAgreementConfig{
+				N: 6, F: 2, Algorithm: weakestfd.UpsilonFFig2,
+				Proposals: proposals(6), CrashAt: map[int]int64{0: 13, 1: 26},
+				StabilizeAt: 150, Seed: seed, Budget: 1 << 22,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return res.Steps, nil
+		}},
+		{"extract", func(seed int64) (int64, error) {
+			res, err := weakestfd.ExtractUpsilon(weakestfd.ExtractConfig{
+				N: 5, From: weakestfd.Omega, StabilizeAt: 150,
+				Seed: seed, Budget: 40_000,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return res.Steps, nil
+		}},
+		{"compose", func(seed int64) (int64, error) {
+			res, err := weakestfd.SolveWithStableDetector(weakestfd.ComposeConfig{
+				N: 4, From: weakestfd.Omega, Proposals: proposals(4),
+				StabilizeAt: 100, Seed: seed, Budget: 1 << 22,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return res.Steps, nil
+		}},
+		{"timing", func(seed int64) (int64, error) {
+			res, err := weakestfd.SolveWithTimingAssumptions(weakestfd.TimedConfig{
+				N: 4, Proposals: proposals(4), CrashAt: map[int]int64{1: 300},
+				GST: 800, Bound: 8, Seed: seed,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return res.Steps, nil
+		}},
+		{"async-livelock", func(seed int64) (int64, error) {
+			_, err := weakestfd.SolveSetAgreement(weakestfd.SetAgreementConfig{
+				N: 4, Algorithm: weakestfd.AsyncAttempt, Proposals: proposals(4),
+				Schedule: weakestfd.RoundRobinSchedule, Budget: 100_000,
+			})
+			if !errors.Is(err, weakestfd.ErrNoTermination) {
+				return 0, fmt.Errorf("expected livelock, got %v", err)
+			}
+			return 100_000, nil
+		}},
+	}
+}

@@ -17,6 +17,8 @@
 //	paperbench -tables              # legacy per-theorem tables E1..E11
 //	paperbench -run E4              # one legacy experiment table
 //	paperbench -seeds 10            # more seeds per configuration
+//	paperbench -bench-json out.json # measure the benchmark suite (CI gate)
+//	paperbench -legacy-runner       # goroutine engine instead of step machines
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"sort"
 	"strings"
 
+	"weakestfd"
 	"weakestfd/internal/lab"
 	"weakestfd/internal/lab/scenarios"
 )
@@ -64,9 +67,26 @@ func main() {
 		fingerprint = flag.Bool("fingerprint", false, "print the deterministic result hash of the matrix run")
 		list        = flag.Bool("list", false, "list scenario families and exit")
 		tables      = flag.Bool("tables", false, "run the legacy per-theorem tables E1..E11")
+		benchJSON   = flag.String("bench-json", "", "measure the benchmark suite and write the JSON report to this file")
+		legacy      = flag.Bool("legacy-runner", false, "drive simulations with the goroutine-per-process engine instead of the step-machine engine")
 	)
 	flag.Parse()
+	weakestfd.SetLegacyRunner(*legacy)
 
+	if *benchJSON != "" {
+		// The canonical bench workload is the quick matrix at 2 seeds (what
+		// bench/baseline.json records); an explicit -seeds overrides it.
+		benchSeeds := 2
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "seeds" {
+				benchSeeds = *seeds
+			}
+		})
+		if err := runBenchJSON(*benchJSON, benchSeeds); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *list {
 		for _, f := range scenarios.FamilyNames() {
 			fmt.Println(f)

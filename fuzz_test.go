@@ -9,6 +9,7 @@ package weakestfd
 import (
 	"errors"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -143,6 +144,100 @@ func TestQuickAsyncNeverViolatesSafety(t *testing.T) {
 	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
 	}
+}
+
+// FuzzSolveSetAgreement is the native fuzz face of the quick-check sweeps,
+// upgraded to a differential test: every generated configuration runs on
+// *both* execution engines, which must agree exactly — on success results
+// and on failure kinds — while the advertised k-set-agreement bound holds.
+// CI runs it in short -fuzztime mode as a smoke job.
+func FuzzSolveSetAgreement(f *testing.F) {
+	f.Add(uint8(3), uint8(1), uint8(2), uint8(0), uint8(1), uint8(50), uint8(0))
+	f.Add(uint8(5), uint8(2), uint8(4), uint8(2), uint8(4), uint8(0), uint8(1))
+	f.Add(uint8(250), uint8(9), uint8(33), uint8(7), uint8(8), uint8(200), uint8(2))
+	f.Add(uint8(66), uint8(3), uint8(1), uint8(1), uint8(0), uint8(12), uint8(5))
+	f.Fuzz(func(t *testing.T, b0, b1, b2, b3, b4, b5, algByte uint8) {
+		algs := []Algorithm{UpsilonFig1, UpsilonFFig2, OmegaNBaseline, OmegaConsensus, OmegaNBoosted, AsyncAttempt}
+		alg := algs[int(algByte)%len(algs)]
+		cfg := genConfig([6]uint8{b0, b1, b2, b3, b4, b5}, alg)
+		if alg == AsyncAttempt {
+			// The FD-free attempt livelocks under round-robin; cap the budget
+			// (as TestQuickAsyncNeverViolatesSafety does) so one fuzz input
+			// cannot burn millions of steps on both engines.
+			cfg.Budget = 30_000
+		}
+		machineCfg := cfg
+		machineCfg.Runner = MachineRunner
+		legacyCfg := cfg
+		legacyCfg.Runner = GoroutineRunner
+		mRes, mErr := SolveSetAgreement(machineCfg)
+		gRes, gErr := SolveSetAgreement(legacyCfg)
+		if (mErr == nil) != (gErr == nil) {
+			t.Fatalf("cfg %+v: runners disagree: machine=%v goroutine=%v", cfg, mErr, gErr)
+		}
+		if mErr != nil {
+			if !errors.Is(mErr, ErrNoTermination) {
+				t.Fatalf("cfg %+v: %v", cfg, mErr)
+			}
+			if alg != AsyncAttempt {
+				t.Fatalf("cfg %+v: unexpected non-termination: %v", cfg, mErr)
+			}
+			return
+		}
+		if !reflect.DeepEqual(mRes, gRes) {
+			t.Fatalf("cfg %+v: results differ:\n machine:   %+v\n goroutine: %+v", cfg, mRes, gRes)
+		}
+		if len(mRes.Distinct) > mRes.K {
+			t.Fatalf("cfg %+v: %d distinct decisions exceed k=%d", cfg, len(mRes.Distinct), mRes.K)
+		}
+	})
+}
+
+// FuzzExtractUpsilon differentially fuzzes the Figure 3 reduction: both
+// engines must produce the identical extraction and the extracted output must
+// satisfy the Υ^f specification.
+func FuzzExtractUpsilon(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint8(0), uint8(0), uint8(30))
+	f.Add(uint8(2), uint8(1), uint8(1), uint8(2), uint8(80))
+	f.Add(uint8(3), uint8(2), uint8(3), uint8(5), uint8(0))
+	f.Fuzz(func(t *testing.T, b0, b1, b2, b3, b4 uint8) {
+		dets := []Detector{Omega, OmegaN, OmegaF, StableEvPerfect}
+		n := 3 + int(b0%4) // 3..6
+		fRes := 2 + int(b1)%(n-2)
+		det := dets[int(b2)%len(dets)]
+		if det == OmegaN {
+			fRes = n - 1 // Ωn extracts the wait-free Υ
+		}
+		crashAt := map[int]int64{}
+		if b3%2 == 0 {
+			crashAt[int(b3)%n] = int64(300 + 10*int(b4))
+		}
+		cfg := ExtractConfig{
+			N: n, F: fRes, From: det,
+			StabilizeAt: int64(b4) * 2,
+			CrashAt:     crashAt,
+			Seed:        int64(b0) ^ int64(b4)<<3,
+			Budget:      30_000,
+		}
+		machineCfg := cfg
+		machineCfg.Runner = MachineRunner
+		legacyCfg := cfg
+		legacyCfg.Runner = GoroutineRunner
+		mRes, mErr := ExtractUpsilon(machineCfg)
+		gRes, gErr := ExtractUpsilon(legacyCfg)
+		if (mErr == nil) != (gErr == nil) {
+			t.Fatalf("cfg %+v: runners disagree: machine=%v goroutine=%v", cfg, mErr, gErr)
+		}
+		if mErr != nil {
+			t.Fatalf("cfg %+v: %v", cfg, mErr)
+		}
+		if !reflect.DeepEqual(mRes, gRes) {
+			t.Fatalf("cfg %+v: results differ:\n machine:   %+v\n goroutine: %+v", cfg, mRes, gRes)
+		}
+		if mRes.LegalErr != nil || len(mRes.Stable) < n-fRes {
+			t.Fatalf("cfg %+v: illegal extraction %+v", cfg, mRes)
+		}
+	})
 }
 
 func TestQuickTimingAssumptions(t *testing.T) {

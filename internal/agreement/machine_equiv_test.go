@@ -1,0 +1,130 @@
+package agreement
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"weakestfd/internal/converge"
+	"weakestfd/internal/fd"
+	"weakestfd/internal/sim"
+)
+
+// Equivalence of the goroutine and machine runners on the baseline
+// algorithms; see internal/core/machine_equiv_test.go for the protocol
+// counterparts.
+
+func equivProposals(n int) []sim.Value {
+	out := make([]sim.Value, n)
+	for i := range out {
+		out[i] = sim.Value(10 + i)
+	}
+	return out
+}
+
+func equivSchedules() map[string]func(seed int64) sim.Schedule {
+	return map[string]func(seed int64) sim.Schedule{
+		"roundrobin": func(int64) sim.Schedule { return sim.RoundRobin() },
+		"random":     sim.NewRandom,
+	}
+}
+
+func checkSameReport(t *testing.T, gRep, mRep *sim.Report, gErr, mErr error) {
+	t.Helper()
+	if (gErr == nil) != (mErr == nil) {
+		t.Fatalf("error mismatch: goroutine=%v machine=%v", gErr, mErr)
+	}
+	if !reflect.DeepEqual(gRep, mRep) {
+		t.Fatalf("report mismatch:\n goroutine: %+v\n machine:   %+v", gRep, mRep)
+	}
+}
+
+func TestMachineEquivalenceBaselines(t *testing.T) {
+	const n = 5
+	pattern := sim.CrashPattern(n, map[sim.PID]sim.Time{1: 30})
+	type algo struct {
+		name string
+		mk   func(seed int64) (func(i int) sim.Body, func(i int) sim.StepMachine)
+	}
+	algos := []algo{
+		{"omega-consensus", func(seed int64) (func(int) sim.Body, func(int) sim.StepMachine) {
+			c := NewOmegaConsensus(n, fd.NewOmega(pattern, 100, seed), converge.UseAtomic)
+			return func(i int) sim.Body { return c.Body(equivProposals(n)[i]) },
+				func(i int) sim.StepMachine { return c.Machine(equivProposals(n)[i]) }
+		}},
+		{"omegan-setagreement", func(seed int64) (func(int) sim.Body, func(int) sim.StepMachine) {
+			a := NewOmegaNSetAgreement(n, fd.NewOmegaF(pattern, n-1, 100, seed), converge.UseAtomic)
+			return func(i int) sim.Body { return a.Body(equivProposals(n)[i]) },
+				func(i int) sim.StepMachine { return a.Machine(equivProposals(n)[i]) }
+		}},
+		{"boosted-consensus", func(seed int64) (func(int) sim.Body, func(int) sim.StepMachine) {
+			// Two independent instances: consensus objects track accessors,
+			// so the two runners must not share one family.
+			b1 := NewBoostedConsensus(n, fd.NewOmegaF(pattern, n-1, 100, seed), converge.UseAtomic)
+			b2 := NewBoostedConsensus(n, fd.NewOmegaF(pattern, n-1, 100, seed), converge.UseAtomic)
+			return func(i int) sim.Body { return b1.Body(equivProposals(n)[i]) },
+				func(i int) sim.StepMachine { return b2.Machine(equivProposals(n)[i]) }
+		}},
+	}
+	for _, al := range algos {
+		for sname, mkSched := range equivSchedules() {
+			for seed := int64(0); seed < 4; seed++ {
+				t.Run(fmt.Sprintf("%s/%s/seed%d", al.name, sname, seed), func(t *testing.T) {
+					run := func(machineRunner bool) (*sim.Report, error) {
+						bodyOf, machineOf := al.mk(seed)
+						cfg := sim.Config{Pattern: pattern, Schedule: mkSched(seed), Budget: 1 << 21}
+						if machineRunner {
+							machines := make([]sim.StepMachine, n)
+							for i := range machines {
+								machines[i] = machineOf(i)
+							}
+							return sim.RunMachines(cfg, machines)
+						}
+						bodies := make([]sim.Body, n)
+						for i := range bodies {
+							bodies[i] = bodyOf(i)
+						}
+						return sim.Run(cfg, bodies)
+					}
+					gRep, gErr := run(false)
+					mRep, mErr := run(true)
+					checkSameReport(t, gRep, mRep, gErr, mErr)
+				})
+			}
+		}
+	}
+}
+
+// TestMachineEquivalenceAsyncLivelock pins the budget-exhaustion path: the
+// FD-free attempt under round-robin never terminates, and the two runners
+// must report the identical exhausted run (Steps, StepsBy, Crashed
+// poisoning).
+func TestMachineEquivalenceAsyncLivelock(t *testing.T) {
+	const n = 4
+	pattern := sim.FailFree(n)
+	run := func(machineRunner bool) (*sim.Report, error) {
+		a := NewAsyncAttempt(n, converge.UseAtomic)
+		cfg := sim.Config{Pattern: pattern, Schedule: sim.RoundRobin(), Budget: 20_000}
+		if machineRunner {
+			machines := make([]sim.StepMachine, n)
+			for i := range machines {
+				machines[i] = a.Machine(equivProposals(n)[i])
+			}
+			return sim.RunMachines(cfg, machines)
+		}
+		bodies := make([]sim.Body, n)
+		for i := range bodies {
+			bodies[i] = a.Body(equivProposals(n)[i])
+		}
+		return sim.Run(cfg, bodies)
+	}
+	gRep, gErr := run(false)
+	mRep, mErr := run(true)
+	if gErr == nil || mErr == nil {
+		t.Fatalf("expected livelock on both runners, got goroutine=%v machine=%v", gErr, mErr)
+	}
+	checkSameReport(t, gRep, mRep, nil, nil)
+	if !gRep.BudgetExhausted || !mRep.BudgetExhausted {
+		t.Fatal("expected BudgetExhausted on both runners")
+	}
+}

@@ -1,0 +1,107 @@
+package converge
+
+import (
+	"fmt"
+
+	"weakestfd/internal/memory"
+	"weakestfd/internal/sim"
+)
+
+// Machine resumes one Converge call one atomic step at a time, for use
+// inside sim.StepMachine protocol automata. Where Converge(p, v) blocks the
+// calling goroutine across its four snapshot operations, a Machine performs
+// exactly one of them per StepOp call and parks its control state in between,
+// producing the same picked value and commit flag as Converge for the same
+// interleaving.
+//
+// One Machine is embedded per process automaton and reused across converge
+// instances (Start rebinds it); its scan buffers are reused so the only
+// allocation per converge call is the value set that escapes into the shared
+// round-2 snapshot — the same allocation the goroutine path performs.
+type Machine struct {
+	me   sim.PID
+	inst *Instance
+	a    memory.DirectSnapshot[sim.Value]
+	b    memory.DirectSnapshot[proposal]
+	in   sim.Value
+	vs   ValueSet
+	pc   uint8
+
+	scanA []memory.Opt[sim.Value]
+	scanB []memory.Opt[proposal]
+
+	// Picked and Committed hold the call's results once StepOp returned true
+	// (or Start returned true for a 0-converge).
+	Picked    sim.Value
+	Committed bool
+}
+
+// Bind fixes the machine's process identity; call once from StepMachine.Init.
+func (m *Machine) Bind(me sim.PID) { m.me = me }
+
+// Start prepares one Converge(inst, v) call. It returns true when the call
+// completed without any atomic step — the 0-converge case, which by
+// definition returns (v, false) immediately; otherwise the caller must drive
+// StepOp until it returns true, spending one simulation step per call.
+func (m *Machine) Start(inst *Instance, v sim.Value) (done bool) {
+	if inst.k == 0 {
+		m.Picked, m.Committed = v, false
+		return true
+	}
+	a, ok := memory.AsDirect(inst.a)
+	if !ok {
+		panic(fmt.Sprintf("converge: instance %T does not support step-free access (use the goroutine runner for the Afek construction)", inst.a))
+	}
+	b, _ := memory.AsDirect(inst.b)
+	m.inst = inst
+	m.a, m.b = a, b
+	m.in = v
+	m.pc = 0
+	return false
+}
+
+// StepOp performs the call's next atomic operation, returning true when the
+// call has completed and Picked/Committed are valid. The operation sequence
+// and the pick/commit logic mirror Instance.Converge exactly.
+func (m *Machine) StepOp() (done bool) {
+	switch m.pc {
+	case 0: // round 1 update
+		m.a.DirectUpdate(m.me, m.in)
+		m.pc = 1
+	case 1: // round 1 scan
+		m.scanA = m.a.DirectScan(m.scanA[:0])
+		m.vs = NewValueSet(m.scanA)
+		m.pc = 2
+	case 2: // round 2 update
+		m.b.DirectUpdate(m.me, proposal{set: m.vs, commit: len(m.vs) <= m.inst.k})
+		m.pc = 3
+	case 3: // round 2 scan + result
+		m.scanB = m.b.DirectScan(m.scanB[:0])
+		allCommit := true
+		var smallest ValueSet
+		for _, e := range m.scanB {
+			if !e.OK {
+				continue
+			}
+			if !e.V.commit {
+				allCommit = false
+				continue
+			}
+			if smallest == nil || len(e.V.set) < len(smallest) {
+				smallest = e.V.set
+			}
+		}
+		switch {
+		case allCommit:
+			m.Picked, m.Committed = m.vs.Min(), true
+		case smallest != nil:
+			m.Picked, m.Committed = smallest.Min(), false
+		default:
+			m.Picked, m.Committed = m.in, false
+		}
+		return true
+	default:
+		panic("converge: StepOp after completion")
+	}
+	return false
+}

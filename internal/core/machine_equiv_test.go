@@ -1,0 +1,277 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"weakestfd/internal/converge"
+	"weakestfd/internal/fd"
+	"weakestfd/internal/sim"
+)
+
+// The equivalence suite: the goroutine runner (sim.Run/RunTasks) and the
+// machine runner (sim.RunMachines/RunTaskMachines) must produce identical
+// Reports — every field, including DecidedAt, StepsBy and the Crashed
+// bookkeeping of poisoned runs — for every protocol ported to StepMachine,
+// across schedules and failure patterns.
+
+// schedFactory builds a fresh schedule per run; schedules are stateful, so
+// the two runners must never share one instance.
+type schedFactory struct {
+	name string
+	mk   func(seed int64) sim.Schedule
+}
+
+func schedules() []schedFactory {
+	return []schedFactory{
+		{"roundrobin", func(int64) sim.Schedule { return sim.RoundRobin() }},
+		{"random", sim.NewRandom},
+		{"evsync", func(seed int64) sim.Schedule { return sim.EventuallySynchronous(200, 8, seed) }},
+	}
+}
+
+func requireSameReport(t *testing.T, goroutine, machine *sim.Report, gErr, mErr error) {
+	t.Helper()
+	if (gErr == nil) != (mErr == nil) {
+		t.Fatalf("error mismatch: goroutine=%v machine=%v", gErr, mErr)
+	}
+	if gErr != nil && !errors.Is(mErr, sim.ErrBudgetExhausted) != !errors.Is(gErr, sim.ErrBudgetExhausted) {
+		t.Fatalf("error kind mismatch: goroutine=%v machine=%v", gErr, mErr)
+	}
+	if !reflect.DeepEqual(goroutine, machine) {
+		t.Fatalf("report mismatch:\n goroutine: %+v\n machine:   %+v", goroutine, machine)
+	}
+}
+
+func proposalsFor(n int) []sim.Value {
+	out := make([]sim.Value, n)
+	for i := range out {
+		out[i] = sim.Value(100 + i)
+	}
+	return out
+}
+
+func TestMachineEquivalenceFig1(t *testing.T) {
+	patterns := map[string]func(n int) sim.Pattern{
+		"failfree": sim.FailFree,
+		"onecrash": func(n int) sim.Pattern {
+			return sim.CrashPattern(n, map[sim.PID]sim.Time{1: 30})
+		},
+		"waitfree": func(n int) sim.Pattern {
+			crashes := make(map[sim.PID]sim.Time, n-1)
+			for i := 1; i < n; i++ {
+				crashes[sim.PID(i)] = sim.Time(9 * i)
+			}
+			return sim.CrashPattern(n, crashes)
+		},
+	}
+	for _, n := range []int{3, 5, 7} {
+		for pname, mkPattern := range patterns {
+			for _, sf := range schedules() {
+				for _, ts := range []sim.Time{0, 150} {
+					for seed := int64(0); seed < 3; seed++ {
+						name := fmt.Sprintf("n%d/%s/%s/ts%d/seed%d", n, pname, sf.name, ts, seed)
+						t.Run(name, func(t *testing.T) {
+							pattern := mkPattern(n)
+							run := func(machineRunner bool) (*sim.Report, error) {
+								h := Upsilon(n).History(pattern, ts, seed)
+								g := NewFig1(n, h, converge.UseAtomic)
+								cfg := sim.Config{Pattern: pattern, Schedule: sf.mk(seed), Budget: 1 << 22}
+								if machineRunner {
+									machines := make([]sim.StepMachine, n)
+									for i := range machines {
+										machines[i] = g.Machine(proposalsFor(n)[i])
+									}
+									return sim.RunMachines(cfg, machines)
+								}
+								bodies := make([]sim.Body, n)
+								for i := range bodies {
+									bodies[i] = g.Body(proposalsFor(n)[i])
+								}
+								return sim.Run(cfg, bodies)
+							}
+							gRep, gErr := run(false)
+							mRep, mErr := run(true)
+							requireSameReport(t, gRep, mRep, gErr, mErr)
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMachineEquivalenceFig2(t *testing.T) {
+	for _, tc := range []struct{ n, f, crashes int }{{4, 1, 0}, {4, 2, 2}, {6, 2, 1}, {6, 5, 3}} {
+		for _, sf := range schedules() {
+			for seed := int64(0); seed < 3; seed++ {
+				name := fmt.Sprintf("n%d/f%d/crash%d/%s/seed%d", tc.n, tc.f, tc.crashes, sf.name, seed)
+				t.Run(name, func(t *testing.T) {
+					crashes := make(map[sim.PID]sim.Time, tc.crashes)
+					for i := 0; i < tc.crashes; i++ {
+						crashes[sim.PID(i)] = sim.Time(13 * (i + 1))
+					}
+					pattern := sim.CrashPattern(tc.n, crashes)
+					run := func(machineRunner bool) (*sim.Report, error) {
+						h := UpsilonF(tc.n, tc.f).History(pattern, 150, seed)
+						g := NewFig2(tc.n, tc.f, h, converge.UseAtomic)
+						cfg := sim.Config{Pattern: pattern, Schedule: sf.mk(seed), Budget: 1 << 22}
+						if machineRunner {
+							machines := make([]sim.StepMachine, tc.n)
+							for i := range machines {
+								machines[i] = g.Machine(proposalsFor(tc.n)[i])
+							}
+							return sim.RunMachines(cfg, machines)
+						}
+						bodies := make([]sim.Body, tc.n)
+						for i := range bodies {
+							bodies[i] = g.Body(proposalsFor(tc.n)[i])
+						}
+						return sim.Run(cfg, bodies)
+					}
+					gRep, gErr := run(false)
+					mRep, mErr := run(true)
+					requireSameReport(t, gRep, mRep, gErr, mErr)
+				})
+			}
+		}
+	}
+}
+
+// TestMachineEquivalenceExtraction compares the Figure 3 reduction on both
+// runners, including the emulated-output evolution (sampled after every step
+// through StopWhen, exactly as ExtractUpsilon wires it).
+func TestMachineEquivalenceExtraction(t *testing.T) {
+	const n = 5
+	type source struct {
+		name string
+		mk   func(pattern sim.Pattern, seed int64) (sim.Oracle, Phi)
+	}
+	sources := []source{
+		{"omega", func(p sim.Pattern, seed int64) (sim.Oracle, Phi) {
+			return fd.NewOmega(p, 150, seed), PhiOmega(n)
+		}},
+		{"omegaN", func(p sim.Pattern, seed int64) (sim.Oracle, Phi) {
+			return fd.NewOmegaF(p, n-1, 150, seed), PhiOmegaF(n)
+		}},
+		{"evP", func(p sim.Pattern, seed int64) (sim.Oracle, Phi) {
+			return fd.NewStableEvPerfect(p, 150, seed), PhiStableEvPerfect(n)
+		}},
+	}
+	patterns := map[string]sim.Pattern{
+		"failfree": sim.FailFree(n),
+		"onecrash": sim.CrashPattern(n, map[sim.PID]sim.Time{2: 40}),
+	}
+	for _, src := range sources {
+		for pname, pattern := range patterns {
+			for _, sf := range schedules() {
+				for seed := int64(0); seed < 2; seed++ {
+					name := fmt.Sprintf("%s/%s/%s/seed%d", src.name, pname, sf.name, seed)
+					t.Run(name, func(t *testing.T) {
+						run := func(machineRunner bool) (*sim.Report, [][]sim.Set, error) {
+							oracle, phi := src.mk(pattern, seed)
+							ex := NewExtraction(n, oracle, phi)
+							var outputs [][]sim.Set
+							cfg := sim.Config{
+								Pattern:  pattern,
+								Schedule: sf.mk(seed),
+								Budget:   6000,
+								StopWhen: func(sim.Time) bool {
+									outputs = append(outputs, append([]sim.Set(nil), ex.Output()...))
+									return false
+								},
+							}
+							if machineRunner {
+								machines := make([]sim.StepMachine, n)
+								for i := range machines {
+									machines[i] = ex.Machine()
+								}
+								rep, err := sim.RunMachines(cfg, machines)
+								return rep, outputs, err
+							}
+							bodies := make([]sim.Body, n)
+							for i := range bodies {
+								bodies[i] = ex.Body()
+							}
+							rep, err := sim.Run(cfg, bodies)
+							return rep, outputs, err
+						}
+						gRep, gOut, gErr := run(false)
+						mRep, mOut, mErr := run(true)
+						requireSameReport(t, gRep, mRep, gErr, mErr)
+						if !reflect.DeepEqual(gOut, mOut) {
+							t.Fatalf("emulated output evolution differs (%d vs %d samples)", len(gOut), len(mOut))
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestMachineEquivalenceComposed compares the two-task composition (Figure 3
+// reduction + Figure 1 protocol) on RunTasks vs RunTaskMachines, covering
+// the task-rotation logic.
+func TestMachineEquivalenceComposed(t *testing.T) {
+	const n = 5
+	patterns := map[string]sim.Pattern{
+		"failfree": sim.FailFree(n),
+		"onecrash": sim.CrashPattern(n, map[sim.PID]sim.Time{2: 40}),
+	}
+	for pname, pattern := range patterns {
+		for _, sf := range schedules() {
+			for seed := int64(0); seed < 2; seed++ {
+				name := fmt.Sprintf("%s/%s/seed%d", pname, sf.name, seed)
+				t.Run(name, func(t *testing.T) {
+					run := func(machineRunner bool) (*sim.Report, error) {
+						oracle := fd.NewOmega(pattern, 120, seed)
+						c := NewComposed(n, oracle, PhiOmega(n), converge.UseAtomic)
+						cfg := sim.Config{Pattern: pattern, Schedule: sf.mk(seed), Budget: 1 << 22}
+						if machineRunner {
+							return sim.RunTaskMachines(cfg, c.MachineTaskSets(proposalsFor(n)))
+						}
+						return sim.RunTasks(cfg, c.TaskSets(proposalsFor(n)))
+					}
+					gRep, gErr := run(false)
+					mRep, mErr := run(true)
+					requireSameReport(t, gRep, mRep, gErr, mErr)
+				})
+			}
+		}
+	}
+}
+
+// TestMachineEquivalenceTimed compares the oracle-free composition
+// (heartbeat Υ implementation + Figure 1) under the eventually synchronous
+// schedule on both task runners.
+func TestMachineEquivalenceTimed(t *testing.T) {
+	const n = 4
+	patterns := map[string]sim.Pattern{
+		"failfree": sim.FailFree(n),
+		"onecrash": sim.CrashPattern(n, map[sim.PID]sim.Time{1: 300}),
+	}
+	for pname, pattern := range patterns {
+		for seed := int64(0); seed < 3; seed++ {
+			name := fmt.Sprintf("%s/seed%d", pname, seed)
+			t.Run(name, func(t *testing.T) {
+				run := func(machineRunner bool) (*sim.Report, error) {
+					c := NewTimedComposed(n, 4, converge.UseAtomic)
+					cfg := sim.Config{
+						Pattern:  pattern,
+						Schedule: sim.EventuallySynchronous(800, 8, seed),
+						Budget:   1 << 22,
+					}
+					if machineRunner {
+						return sim.RunTaskMachines(cfg, c.MachineTaskSets(proposalsFor(n)))
+					}
+					return sim.RunTasks(cfg, c.TaskSets(proposalsFor(n)))
+				}
+				gRep, gErr := run(false)
+				mRep, mErr := run(true)
+				requireSameReport(t, gRep, mRep, gErr, mErr)
+			})
+		}
+	}
+}

@@ -18,6 +18,19 @@ func Query[T any](p *sim.Proc, h sim.Oracle) T {
 	return out
 }
 
+// QueryAt evaluates oracle h at (p, t) without a Proc and asserts the output
+// type — the machine-runner counterpart of Query. The caller (a
+// sim.StepMachine driven by sim.RunMachines) is charged the step by the
+// runner itself.
+func QueryAt[T any](h sim.Oracle, p sim.PID, t sim.Time) T {
+	v := h.Value(p, t)
+	out, ok := v.(T)
+	if !ok {
+		panic(fmt.Sprintf("fd: oracle output %T, algorithm expected %T", v, out))
+	}
+	return out
+}
+
 // Stabilizing is an oracle that outputs Noise(p, t) strictly before time TS
 // and Stable from TS on, at every process. It realizes the ubiquitous
 // "eventually the same value is permanently output at all correct processes"

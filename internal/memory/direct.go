@@ -1,0 +1,76 @@
+package memory
+
+import "weakestfd/internal/sim"
+
+// Direct (step-free) shared-object access for the machine runner.
+//
+// The goroutine runner charges every shared-object operation one atomic step
+// by routing it through sim.Proc. The machine runner (sim.RunMachines) is
+// single-threaded and accounts the step itself: exactly one StepMachine.Step
+// call runs at a time, and that call performs exactly one operation. Machines
+// therefore access objects through the Direct* methods below, which touch the
+// object state without a Proc. The atomicity guarantee is unchanged — it now
+// comes from the runner's single-threadedness instead of the step gate.
+//
+// Algorithm *bodies* must never call Direct* methods: doing so would perform
+// shared-memory communication without consuming a schedule step, breaking the
+// model. They exist only for StepMachine implementations (and, like Inspect,
+// for post-run checks).
+
+// DirectRead returns the register's value without taking a step.
+func (r *Register[T]) DirectRead() T { return r.v }
+
+// DirectWrite sets the register's value without taking a step.
+func (r *Register[T]) DirectWrite(v T) { r.v = v }
+
+// DirectRead reads register i without taking a step.
+func (a *Array[T]) DirectRead(i sim.PID) T { return a.regs[i].v }
+
+// DirectWrite writes register i without taking a step.
+func (a *Array[T]) DirectWrite(i sim.PID, v T) { a.regs[i].v = v }
+
+// DirectSnapshot is the step-free face of a snapshot object. Only
+// implementations whose Update and Scan are single atomic steps can offer it;
+// the one-step atomic snapshot does, the Afek et al. registers-only
+// construction (whose operations span many steps) does not. Machine
+// constructors assert for this interface and reject snapshot implementations
+// that lack it.
+type DirectSnapshot[T any] interface {
+	Snapshot[T]
+	// DirectUpdate writes v into position i without taking a step.
+	DirectUpdate(i sim.PID, v T)
+	// DirectScan appends the contents of all n positions to dst and returns
+	// the extended slice; pass scratch[:0] to reuse a scan buffer.
+	DirectScan(dst []Opt[T]) []Opt[T]
+}
+
+// DirectUpdate implements DirectSnapshot.
+func (s *atomicSnapshot[T]) DirectUpdate(i sim.PID, v T) { s.cells[i] = Some(v) }
+
+// DirectScan implements DirectSnapshot.
+func (s *atomicSnapshot[T]) DirectScan(dst []Opt[T]) []Opt[T] {
+	return append(dst, s.cells...)
+}
+
+// AsDirect asserts that snap supports step-free access, returning false for
+// multi-step implementations (the Afek construction).
+func AsDirect[T any](snap Snapshot[T]) (DirectSnapshot[T], bool) {
+	d, ok := snap.(DirectSnapshot[T])
+	return d, ok
+}
+
+// DirectPropose is the step-free variant of ConsensusObject.Propose for the
+// machine runner: first value wins, every call returns the decision, and the
+// m-process access limit is enforced exactly as in Propose.
+func (c *ConsensusObject) DirectPropose(me sim.PID, v sim.Value) sim.Value {
+	if !c.accessors.Has(me) {
+		c.accessors = c.accessors.Add(me)
+		if c.accessors.Len() > c.limit {
+			panic(c.name + ": consensus object accessor limit exceeded")
+		}
+	}
+	if !c.decided.OK {
+		c.decided = Some(v)
+	}
+	return c.decided.V
+}

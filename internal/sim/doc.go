@@ -33,6 +33,10 @@
 //     produce a Report (decisions, steps, crashes) — one run R of the
 //     paper, cut off at a step budget since impossibility arguments reason
 //     about infinite runs the simulator cannot finish.
+//   - StepMachine is a Body with its control state made explicit, and
+//     RunMachines / RunTaskMachines the coroutine-free engine driving such
+//     machines in a single goroutine — zero channels, near-zero allocations
+//     per step, byte-identical Reports to Run / RunTasks (see machine.go).
 //
 // Set is the bitset of PIDs used for detector outputs (the range 2^Π of Υ)
 // and correct/faulty sets throughout.

@@ -1,0 +1,238 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// countdownMachine yields for steps-1 steps, then decides (or halts) on its
+// last step. Its Body twin below must produce identical reports.
+type countdownMachine struct {
+	steps   int
+	val     Value
+	decides bool
+	taken   int
+}
+
+func (m *countdownMachine) Init(MachineContext) {}
+func (m *countdownMachine) Decision() Value     { return m.val }
+func (m *countdownMachine) Step(Time) MachineStatus {
+	m.taken++
+	if m.taken < m.steps {
+		return MachineRunning
+	}
+	if m.decides {
+		return MachineDecided
+	}
+	return MachineHalted
+}
+
+func countdownBody(steps int, val Value, decides bool) Body {
+	return func(p *Proc) (Value, bool) {
+		for i := 0; i < steps; i++ {
+			p.Yield()
+		}
+		return val, decides
+	}
+}
+
+// spinMachine never returns; its twin body yields forever.
+type spinMachine struct{}
+
+func (spinMachine) Init(MachineContext)     {}
+func (spinMachine) Decision() Value         { return 0 }
+func (spinMachine) Step(Time) MachineStatus { return MachineRunning }
+
+func spinBody(p *Proc) (Value, bool) {
+	for {
+		p.Yield()
+	}
+}
+
+func TestRunMachinesMatchesRunToyWorkloads(t *testing.T) {
+	type tc struct {
+		name     string
+		pattern  Pattern
+		budget   int64
+		stopAt   Time
+		machines func() []StepMachine
+		bodies   func() []Body
+	}
+	cases := []tc{
+		{
+			name:    "all-decide",
+			pattern: FailFree(3),
+			machines: func() []StepMachine {
+				return []StepMachine{
+					&countdownMachine{steps: 3, val: 10, decides: true},
+					&countdownMachine{steps: 1, val: 20, decides: true},
+					&countdownMachine{steps: 5, val: 30, decides: true},
+				}
+			},
+			bodies: func() []Body {
+				return []Body{
+					countdownBody(3, 10, true),
+					countdownBody(1, 20, true),
+					countdownBody(5, 30, true),
+				}
+			},
+		},
+		{
+			name:    "halt-without-deciding",
+			pattern: FailFree(2),
+			machines: func() []StepMachine {
+				return []StepMachine{
+					&countdownMachine{steps: 2, val: 0, decides: false},
+					&countdownMachine{steps: 4, val: 7, decides: true},
+				}
+			},
+			bodies: func() []Body {
+				return []Body{countdownBody(2, 0, false), countdownBody(4, 7, true)}
+			},
+		},
+		{
+			name:    "crash-mid-run",
+			pattern: CrashPattern(3, map[PID]Time{1: 4}),
+			machines: func() []StepMachine {
+				return []StepMachine{
+					&countdownMachine{steps: 6, val: 1, decides: true},
+					&countdownMachine{steps: 50, val: 2, decides: true},
+					&countdownMachine{steps: 6, val: 3, decides: true},
+				}
+			},
+			bodies: func() []Body {
+				return []Body{
+					countdownBody(6, 1, true),
+					countdownBody(50, 2, true),
+					countdownBody(6, 3, true),
+				}
+			},
+		},
+		{
+			name:    "crash-before-first-step",
+			pattern: CrashPattern(2, map[PID]Time{0: 0}),
+			machines: func() []StepMachine {
+				return []StepMachine{
+					&countdownMachine{steps: 9, val: 1, decides: true},
+					&countdownMachine{steps: 2, val: 2, decides: true},
+				}
+			},
+			bodies: func() []Body {
+				return []Body{countdownBody(9, 1, true), countdownBody(2, 2, true)}
+			},
+		},
+		{
+			name:    "budget-exhausted",
+			pattern: FailFree(2),
+			budget:  25,
+			machines: func() []StepMachine {
+				return []StepMachine{spinMachine{}, spinMachine{}}
+			},
+			bodies: func() []Body { return []Body{spinBody, spinBody} },
+		},
+		{
+			name:    "stop-when",
+			pattern: FailFree(2),
+			stopAt:  13,
+			machines: func() []StepMachine {
+				return []StepMachine{spinMachine{}, &countdownMachine{steps: 3, val: 5, decides: true}}
+			},
+			bodies: func() []Body { return []Body{spinBody, countdownBody(3, 5, true)} },
+		},
+	}
+	for _, c := range cases {
+		for _, sched := range []string{"roundrobin", "random"} {
+			t.Run(c.name+"/"+sched, func(t *testing.T) {
+				mk := func() Schedule {
+					if sched == "random" {
+						return NewRandom(42)
+					}
+					return RoundRobin()
+				}
+				mkCfg := func() Config {
+					cfg := Config{Pattern: c.pattern, Schedule: mk(), Budget: c.budget}
+					if c.stopAt > 0 {
+						stop := c.stopAt
+						cfg.StopWhen = func(t Time) bool { return t >= stop }
+					}
+					return cfg
+				}
+				gRep, gErr := Run(mkCfg(), c.bodies())
+				mRep, mErr := RunMachines(mkCfg(), c.machines())
+				if (gErr == nil) != (mErr == nil) {
+					t.Fatalf("error mismatch: goroutine=%v machine=%v", gErr, mErr)
+				}
+				if !reflect.DeepEqual(gRep, mRep) {
+					t.Fatalf("report mismatch:\n goroutine: %+v\n machine:   %+v", gRep, mRep)
+				}
+			})
+		}
+	}
+}
+
+// TestRunTaskMachinesRotation pins the fair local task rotation against
+// RunTasks: two spin tasks plus one decider per process, under both
+// schedules.
+func TestRunTaskMachinesRotation(t *testing.T) {
+	pattern := CrashPattern(3, map[PID]Time{2: 9})
+	mkMachines := func() []MachineTaskSet {
+		out := make([]MachineTaskSet, 3)
+		for i := range out {
+			out[i] = MachineTaskSet{
+				spinMachine{},
+				&countdownMachine{steps: 4 + i, val: Value(100 + i), decides: true},
+			}
+		}
+		return out
+	}
+	mkBodies := func() []TaskSet {
+		out := make([]TaskSet, 3)
+		for i := range out {
+			out[i] = TaskSet{spinBody, countdownBody(4+i, Value(100+i), true)}
+		}
+		return out
+	}
+	for _, sched := range []string{"roundrobin", "random"} {
+		t.Run(sched, func(t *testing.T) {
+			mk := func() Schedule {
+				if sched == "random" {
+					return NewRandom(7)
+				}
+				return RoundRobin()
+			}
+			gRep, gErr := RunTasks(Config{Pattern: pattern, Schedule: mk(), Budget: 50_000}, mkBodies())
+			mRep, mErr := RunTaskMachines(Config{Pattern: pattern, Schedule: mk(), Budget: 50_000}, mkMachines())
+			if (gErr == nil) != (mErr == nil) {
+				t.Fatalf("error mismatch: goroutine=%v machine=%v", gErr, mErr)
+			}
+			if !reflect.DeepEqual(gRep, mRep) {
+				t.Fatalf("report mismatch:\n goroutine: %+v\n machine:   %+v", gRep, mRep)
+			}
+		})
+	}
+}
+
+// TestRunMachinesZeroAllocSteps guards the machine runner's core promise:
+// once a run is warmed up, granting steps allocates nothing.
+func TestRunMachinesZeroAllocSteps(t *testing.T) {
+	allocs := testing.AllocsPerRun(20, func() {
+		_, err := RunMachines(Config{
+			Pattern:  FailFree(4),
+			Schedule: RoundRobin(),
+			Budget:   40_000,
+		}, []StepMachine{
+			&countdownMachine{steps: 9000, val: 1, decides: true},
+			&countdownMachine{steps: 9000, val: 2, decides: true},
+			&countdownMachine{steps: 9000, val: 3, decides: true},
+			&countdownMachine{steps: 9000, val: 4, decides: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	// ~36k steps per run; the only allocations allowed are the per-run report
+	// structures (maps, StepsBy, machine slice bookkeeping).
+	if allocs > 20 {
+		t.Fatalf("RunMachines allocated %.0f objects per 36k-step run; want fixed per-run overhead only", allocs)
+	}
+}

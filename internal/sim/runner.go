@@ -65,20 +65,33 @@ type Report struct {
 // DecidedValues returns the set of distinct decision values in the report,
 // in ascending order.
 func (r *Report) DecidedValues() []Value {
-	seen := make(map[Value]bool, len(r.Decided))
-	var out []Value
+	return r.DecidedValuesAppend(nil)
+}
+
+// DecidedValuesAppend appends the distinct decision values to dst in
+// ascending order and returns the extended slice. It is the non-allocating
+// variant of DecidedValues for hot summary loops: dedup and ordering are
+// done by insertion into the slice itself, with no map.
+func (r *Report) DecidedValuesAppend(dst []Value) []Value {
+	base := len(dst)
 	for _, v := range r.Decided {
-		if !seen[v] {
-			seen[v] = true
-			out = append(out, v)
+		lo, hi := base, len(dst)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if dst[mid] < v {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
 		}
-	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
+		if lo < len(dst) && dst[lo] == v {
+			continue
 		}
+		dst = append(dst, 0)
+		copy(dst[lo+1:], dst[lo:])
+		dst[lo] = v
 	}
-	return out
+	return dst
 }
 
 type procState uint8

@@ -44,8 +44,7 @@ func RoundRobin() Schedule {
 func NewRandom(seed int64) Schedule {
 	rng := rand.New(rand.NewSource(seed))
 	return Func(func(_ Time, enabled Set) PID {
-		members := enabled.Members()
-		return members[rng.Intn(len(members))]
+		return enabled.Nth(rng.Intn(enabled.Len()))
 	})
 }
 
@@ -65,7 +64,8 @@ func Priority(order ...PID) Schedule {
 	return Func(func(_ Time, enabled Set) PID {
 		best := PID(-1)
 		bestRank := int(^uint(0) >> 1)
-		for _, p := range enabled.Members() {
+		for t := enabled; t != 0; t &= t - 1 {
+			p := lowest(t)
 			r, ok := rank[p]
 			if !ok {
 				r = len(order) + int(p)
@@ -107,22 +107,21 @@ func EventuallySynchronous(gst Time, bound int64, seed int64) Schedule {
 	return Func(func(t Time, enabled Set) PID {
 		var pick PID
 		if t < gst {
-			members := enabled.Members()
-			pick = members[rng.Intn(len(members))]
+			pick = enabled.Nth(rng.Intn(enabled.Len()))
 		} else {
 			// Grant the longest-waiting enabled process when its wait hits
 			// the bound; otherwise choose randomly (bounded nondeterminism).
 			pick = PID(-1)
 			var worst Time
-			for _, p := range enabled.Members() {
+			for s := enabled; s != 0; s &= s - 1 {
+				p := lowest(s)
 				waited := t - lastRun[p]
 				if int64(waited) >= bound && (pick == -1 || lastRun[p] < worst) {
 					pick, worst = p, lastRun[p]
 				}
 			}
 			if pick == -1 {
-				members := enabled.Members()
-				pick = members[rng.Intn(len(members))]
+				pick = enabled.Nth(rng.Intn(enabled.Len()))
 			}
 		}
 		lastRun[pick] = t

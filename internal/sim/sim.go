@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"strings"
 )
 
@@ -74,13 +75,7 @@ func (s Set) Has(p PID) bool {
 }
 
 // Len returns |s|.
-func (s Set) Len() int {
-	n := 0
-	for t := s; t != 0; t &= t - 1 {
-		n++
-	}
-	return n
-}
+func (s Set) Len() int { return bits.OnesCount64(uint64(s)) }
 
 // IsEmpty reports whether s = ∅.
 func (s Set) IsEmpty() bool { return s == 0 }
@@ -102,11 +97,32 @@ func (s Set) Complement(n int) Set { return FullSet(n) &^ s }
 
 // Members returns the members of s in increasing PID order.
 func (s Set) Members() []PID {
-	out := make([]PID, 0, s.Len())
+	return s.MembersAppend(make([]PID, 0, s.Len()))
+}
+
+// MembersAppend appends the members of s to dst in increasing PID order and
+// returns the extended slice. It is the non-allocating variant of Members
+// for hot loops: pass a scratch slice truncated to dst[:0] to reuse its
+// backing array.
+func (s Set) MembersAppend(dst []PID) []PID {
 	for t := s; t != 0; t &= t - 1 {
-		out = append(out, lowest(t))
+		dst = append(dst, lowest(t))
 	}
-	return out
+	return dst
+}
+
+// Nth returns the i-th smallest member of s (0-based). It panics if
+// i >= s.Len(). Schedules use it to pick a member by index without
+// materializing the member slice.
+func (s Set) Nth(i int) PID {
+	t := s
+	for ; i > 0; i-- {
+		t &= t - 1
+	}
+	if t == 0 {
+		panic("sim: Set.Nth out of range")
+	}
+	return lowest(t)
 }
 
 // Min returns the smallest PID in s. It panics on the empty set.
@@ -132,12 +148,10 @@ func (s Set) String() string {
 }
 
 func lowest(s Set) PID {
-	for i := 0; i < MaxProcs; i++ {
-		if s&(1<<uint(i)) != 0 {
-			return PID(i)
-		}
+	if s == 0 {
+		panic("sim: lowest of empty Set")
 	}
-	panic("unreachable")
+	return PID(bits.TrailingZeros64(uint64(s)))
 }
 
 func checkPID(p PID) {

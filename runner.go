@@ -1,0 +1,52 @@
+package weakestfd
+
+import "sync/atomic"
+
+// Runner selects the simulation engine executing a run. The repository has
+// two equivalent engines (see internal/sim): the goroutine runner executes
+// each process body on its own goroutine with channel handshakes per step,
+// while the machine runner drives resumable step machines in a single
+// goroutine with zero channels — ~an order of magnitude less overhead per
+// simulated step. Both produce identical results for identical
+// configurations; the equivalence suite enforces it.
+type Runner int
+
+const (
+	// DefaultRunner defers to the package default: the machine runner,
+	// unless SetLegacyRunner(true) was called (the cmds' -legacy-runner
+	// escape hatch).
+	DefaultRunner Runner = iota
+	// MachineRunner forces the single-goroutine step-machine engine.
+	MachineRunner
+	// GoroutineRunner forces the goroutine-per-process engine.
+	GoroutineRunner
+)
+
+// legacyDefault flips the package default from the machine runner to the
+// goroutine runner. Atomic because lab workers resolve it concurrently.
+var legacyDefault atomic.Bool
+
+// SetLegacyRunner switches the package-wide default engine to the goroutine
+// runner (true) or back to the machine runner (false). It is meant to be
+// called once at startup — the cmds wire their -legacy-runner flag to it;
+// explicit per-config Runner values always win.
+func SetLegacyRunner(legacy bool) { legacyDefault.Store(legacy) }
+
+// resolve maps DefaultRunner to the current package default.
+func (r Runner) resolve() Runner {
+	if r != DefaultRunner {
+		return r
+	}
+	if legacyDefault.Load() {
+		return GoroutineRunner
+	}
+	return MachineRunner
+}
+
+// useMachines reports whether a run with the given feature requirements
+// should use the machine runner. Step traces and the Afek registers-only
+// snapshots are only available on the goroutine runner, so either forces the
+// legacy engine regardless of the requested runner.
+func (r Runner) useMachines(needsTrace, registersOnly bool) bool {
+	return r.resolve() == MachineRunner && !needsTrace && !registersOnly
+}

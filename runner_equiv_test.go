@@ -1,0 +1,156 @@
+package weakestfd_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"weakestfd"
+	"weakestfd/internal/lab"
+	"weakestfd/internal/lab/scenarios"
+)
+
+// Facade-level equivalence: every entry point must return identical results
+// on the machine runner (the default) and the goroutine runner (the
+// -legacy-runner escape hatch). The internal suites compare raw sim.Reports;
+// this one closes the loop over the public API and the lab fingerprint.
+
+func TestRunnerEquivalenceSolve(t *testing.T) {
+	algorithms := []weakestfd.Algorithm{
+		weakestfd.UpsilonFig1,
+		weakestfd.UpsilonFFig2,
+		weakestfd.OmegaNBaseline,
+		weakestfd.OmegaConsensus,
+		weakestfd.OmegaNBoosted,
+	}
+	for _, alg := range algorithms {
+		for _, sched := range []weakestfd.ScheduleKind{weakestfd.RandomSchedule, weakestfd.RoundRobinSchedule} {
+			for seed := int64(0); seed < 3; seed++ {
+				t.Run(fmt.Sprintf("%v/sched%d/seed%d", alg, sched, seed), func(t *testing.T) {
+					base := weakestfd.SetAgreementConfig{
+						N: 5, F: 2, Algorithm: alg,
+						Proposals:   []int64{100, 101, 102, 103, 104},
+						CrashAt:     map[int]int64{2: 25},
+						StabilizeAt: 120,
+						Seed:        seed,
+						Schedule:    sched,
+						Budget:      1 << 22,
+					}
+					machineCfg := base
+					machineCfg.Runner = weakestfd.MachineRunner
+					legacyCfg := base
+					legacyCfg.Runner = weakestfd.GoroutineRunner
+					mRes, mErr := weakestfd.SolveSetAgreement(machineCfg)
+					gRes, gErr := weakestfd.SolveSetAgreement(legacyCfg)
+					if (mErr == nil) != (gErr == nil) {
+						t.Fatalf("error mismatch: machine=%v goroutine=%v", mErr, gErr)
+					}
+					if mErr != nil {
+						return
+					}
+					if !reflect.DeepEqual(mRes, gRes) {
+						t.Fatalf("result mismatch:\n machine:   %+v\n goroutine: %+v", mRes, gRes)
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestRunnerEquivalenceExtract(t *testing.T) {
+	for _, det := range []weakestfd.Detector{weakestfd.Omega, weakestfd.OmegaN, weakestfd.StableEvPerfect} {
+		for seed := int64(0); seed < 2; seed++ {
+			t.Run(fmt.Sprintf("%v/seed%d", det, seed), func(t *testing.T) {
+				base := weakestfd.ExtractConfig{
+					N: 5, From: det, StabilizeAt: 150,
+					CrashAt: map[int]int64{1: 400},
+					Seed:    seed, Budget: 30_000,
+				}
+				machineCfg := base
+				machineCfg.Runner = weakestfd.MachineRunner
+				legacyCfg := base
+				legacyCfg.Runner = weakestfd.GoroutineRunner
+				mRes, mErr := weakestfd.ExtractUpsilon(machineCfg)
+				gRes, gErr := weakestfd.ExtractUpsilon(legacyCfg)
+				if mErr != nil || gErr != nil {
+					t.Fatalf("machine=%v goroutine=%v", mErr, gErr)
+				}
+				if !reflect.DeepEqual(mRes, gRes) {
+					t.Fatalf("result mismatch:\n machine:   %+v\n goroutine: %+v", mRes, gRes)
+				}
+			})
+		}
+	}
+}
+
+func TestRunnerEquivalenceCompose(t *testing.T) {
+	for _, det := range []weakestfd.Detector{weakestfd.Omega, weakestfd.OmegaN, weakestfd.StableEvPerfect} {
+		t.Run(det.String(), func(t *testing.T) {
+			base := weakestfd.ComposeConfig{
+				N: 4, From: det, Proposals: []int64{100, 101, 102, 103},
+				CrashAt: map[int]int64{1: 60}, StabilizeAt: 100,
+				Seed: 7, Budget: 1 << 22,
+			}
+			machineCfg := base
+			machineCfg.Runner = weakestfd.MachineRunner
+			legacyCfg := base
+			legacyCfg.Runner = weakestfd.GoroutineRunner
+			mRes, mErr := weakestfd.SolveWithStableDetector(machineCfg)
+			gRes, gErr := weakestfd.SolveWithStableDetector(legacyCfg)
+			if mErr != nil || gErr != nil {
+				t.Fatalf("machine=%v goroutine=%v", mErr, gErr)
+			}
+			if !reflect.DeepEqual(mRes, gRes) {
+				t.Fatalf("result mismatch:\n machine:   %+v\n goroutine: %+v", mRes, gRes)
+			}
+		})
+	}
+}
+
+func TestRunnerEquivalenceTiming(t *testing.T) {
+	for seed := int64(0); seed < 2; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			base := weakestfd.TimedConfig{
+				N: 4, Proposals: []int64{100, 101, 102, 103},
+				CrashAt: map[int]int64{1: 300},
+				GST:     800, Bound: 8, Seed: seed,
+			}
+			machineCfg := base
+			machineCfg.Runner = weakestfd.MachineRunner
+			legacyCfg := base
+			legacyCfg.Runner = weakestfd.GoroutineRunner
+			mRes, mErr := weakestfd.SolveWithTimingAssumptions(machineCfg)
+			gRes, gErr := weakestfd.SolveWithTimingAssumptions(legacyCfg)
+			if mErr != nil || gErr != nil {
+				t.Fatalf("machine=%v goroutine=%v", mErr, gErr)
+			}
+			if !reflect.DeepEqual(mRes, gRes) {
+				t.Fatalf("result mismatch:\n machine:   %+v\n goroutine: %+v", mRes, gRes)
+			}
+		})
+	}
+}
+
+// TestRunnerEquivalenceLabFingerprint is the cross-runner determinism gate
+// the CI job scripts: the trimmed scenario matrix must produce the identical
+// lab fingerprint on both engines.
+func TestRunnerEquivalenceLabFingerprint(t *testing.T) {
+	scs, err := lab.ExpandAll(scenarios.Quick(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fingerprint := func(legacy bool) string {
+		weakestfd.SetLegacyRunner(legacy)
+		defer weakestfd.SetLegacyRunner(false)
+		rep := lab.Run(scs, lab.Options{Workers: 1})
+		if rep.Failed != 0 {
+			t.Fatalf("legacy=%v: %d runs failed", legacy, rep.Failed)
+		}
+		return rep.Fingerprint()
+	}
+	machine := fingerprint(false)
+	goroutine := fingerprint(true)
+	if machine != goroutine {
+		t.Fatalf("fingerprint mismatch:\n machine:   %s\n goroutine: %s", machine, goroutine)
+	}
+}

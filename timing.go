@@ -35,6 +35,9 @@ type TimedConfig struct {
 	Seed int64
 	// Budget caps the run. Default 2^22.
 	Budget int64
+	// Runner selects the simulation engine; the zero value defers to the
+	// package default (the machine runner unless SetLegacyRunner).
+	Runner Runner
 }
 
 // SolveWithTimingAssumptions solves (N−1)-set agreement using only timing
@@ -74,11 +77,18 @@ func SolveWithTimingAssumptions(cfg TimedConfig) (*SetAgreementResult, error) {
 	for i, v := range cfg.Proposals {
 		proposals[i] = sim.Value(v)
 	}
-	rep, runErr := sim.RunTasks(sim.Config{
+	simCfg := sim.Config{
 		Pattern:  pattern,
 		Schedule: sim.EventuallySynchronous(sim.Time(gst), bound, cfg.Seed),
 		Budget:   budget,
-	}, c.TaskSets(proposals))
+	}
+	var rep *sim.Report
+	var runErr error
+	if cfg.Runner.useMachines(false, false) {
+		rep, runErr = sim.RunTaskMachines(simCfg, c.MachineTaskSets(proposals))
+	} else {
+		rep, runErr = sim.RunTasks(simCfg, c.TaskSets(proposals))
+	}
 	if runErr != nil {
 		if errors.Is(runErr, sim.ErrBudgetExhausted) {
 			return nil, fmt.Errorf("%w: %v", ErrNoTermination, runErr)

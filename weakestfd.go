@@ -124,8 +124,12 @@ type SetAgreementConfig struct {
 	// Budget caps the run length in steps. Default 2^21.
 	Budget int64
 	// Trace, when set, records every atomic step and renders a step-class
-	// summary into SetAgreementResult.Trace.
+	// summary into SetAgreementResult.Trace. Tracing forces the goroutine
+	// runner (step labels exist only there).
 	Trace bool
+	// Runner selects the simulation engine; the zero value defers to the
+	// package default (the machine runner unless SetLegacyRunner).
+	Runner Runner
 }
 
 // SetAgreementResult reports one set-agreement run.
@@ -171,9 +175,13 @@ func SolveSetAgreement(cfg SetAgreementConfig) (*SetAgreementResult, error) {
 		budget = 1 << 21
 	}
 
+	// Each algorithm exposes the same automaton in two representations:
+	// blocking bodies for the goroutine runner and resumable step machines
+	// for the machine runner. bodyOf/machineOf build process i's instance.
 	var (
-		bodies = make([]sim.Body, cfg.N)
-		k      int
+		k         int
+		bodyOf    func(i int) sim.Body
+		machineOf func(i int) sim.StepMachine
 	)
 	ts := sim.Time(cfg.StabilizeAt)
 	switch cfg.Algorithm {
@@ -181,9 +189,8 @@ func SolveSetAgreement(cfg SetAgreementConfig) (*SetAgreementResult, error) {
 		h := core.Upsilon(cfg.N).History(pattern, ts, cfg.Seed)
 		g := core.NewFig1(cfg.N, h, impl)
 		k = g.K()
-		for i := range bodies {
-			bodies[i] = g.Body(sim.Value(cfg.Proposals[i]))
-		}
+		bodyOf = func(i int) sim.Body { return g.Body(sim.Value(cfg.Proposals[i])) }
+		machineOf = func(i int) sim.StepMachine { return g.Machine(sim.Value(cfg.Proposals[i])) }
 	case UpsilonFFig2:
 		if cfg.F < 1 || cfg.F >= cfg.N {
 			return nil, fmt.Errorf("weakestfd: F=%d out of range [1,%d]", cfg.F, cfg.N-1)
@@ -194,52 +201,60 @@ func SolveSetAgreement(cfg SetAgreementConfig) (*SetAgreementResult, error) {
 		h := core.UpsilonF(cfg.N, cfg.F).History(pattern, ts, cfg.Seed)
 		g := core.NewFig2(cfg.N, cfg.F, h, impl)
 		k = g.K()
-		for i := range bodies {
-			bodies[i] = g.Body(sim.Value(cfg.Proposals[i]))
-		}
+		bodyOf = func(i int) sim.Body { return g.Body(sim.Value(cfg.Proposals[i])) }
+		machineOf = func(i int) sim.StepMachine { return g.Machine(sim.Value(cfg.Proposals[i])) }
 	case OmegaNBaseline:
 		h := fd.NewOmegaF(pattern, cfg.N-1, ts, cfg.Seed)
 		g := agreement.NewOmegaNSetAgreement(cfg.N, h, impl)
 		k = g.K()
-		for i := range bodies {
-			bodies[i] = g.Body(sim.Value(cfg.Proposals[i]))
-		}
+		bodyOf = func(i int) sim.Body { return g.Body(sim.Value(cfg.Proposals[i])) }
+		machineOf = func(i int) sim.StepMachine { return g.Machine(sim.Value(cfg.Proposals[i])) }
 	case OmegaConsensus:
 		h := fd.NewOmega(pattern, ts, cfg.Seed)
 		g := agreement.NewOmegaConsensus(cfg.N, h, impl)
 		k = 1
-		for i := range bodies {
-			bodies[i] = g.Body(sim.Value(cfg.Proposals[i]))
-		}
+		bodyOf = func(i int) sim.Body { return g.Body(sim.Value(cfg.Proposals[i])) }
+		machineOf = func(i int) sim.StepMachine { return g.Machine(sim.Value(cfg.Proposals[i])) }
 	case AsyncAttempt:
 		g := agreement.NewAsyncAttempt(cfg.N, impl)
 		k = cfg.N - 1
-		for i := range bodies {
-			bodies[i] = g.Body(sim.Value(cfg.Proposals[i]))
-		}
+		bodyOf = func(i int) sim.Body { return g.Body(sim.Value(cfg.Proposals[i])) }
+		machineOf = func(i int) sim.StepMachine { return g.Machine(sim.Value(cfg.Proposals[i])) }
 	case OmegaNBoosted:
 		h := fd.NewOmegaF(pattern, cfg.N-1, ts, cfg.Seed)
 		g := agreement.NewBoostedConsensus(cfg.N, h, impl)
 		k = 1
-		for i := range bodies {
-			bodies[i] = g.Body(sim.Value(cfg.Proposals[i]))
-		}
+		bodyOf = func(i int) sim.Body { return g.Body(sim.Value(cfg.Proposals[i])) }
+		machineOf = func(i int) sim.StepMachine { return g.Machine(sim.Value(cfg.Proposals[i])) }
 	default:
 		return nil, fmt.Errorf("weakestfd: unknown algorithm %v", cfg.Algorithm)
 	}
 
-	var rec *trace.Recorder
-	var tracer func(sim.Event)
-	if cfg.Trace {
-		rec = trace.NewRecorder(nil)
-		tracer = rec.Hook()
-	}
-	rep, runErr := sim.Run(sim.Config{
+	simCfg := sim.Config{
 		Pattern:  pattern,
 		Schedule: scheduleOf(cfg.Schedule, cfg.Seed),
 		Budget:   budget,
-		Tracer:   tracer,
-	}, bodies)
+	}
+	var rec *trace.Recorder
+	var rep *sim.Report
+	var runErr error
+	if cfg.Runner.useMachines(cfg.Trace, cfg.RegistersOnly) {
+		machines := make([]sim.StepMachine, cfg.N)
+		for i := range machines {
+			machines[i] = machineOf(i)
+		}
+		rep, runErr = sim.RunMachines(simCfg, machines)
+	} else {
+		if cfg.Trace {
+			rec = trace.NewRecorder(nil)
+			simCfg.Tracer = rec.Hook()
+		}
+		bodies := make([]sim.Body, cfg.N)
+		for i := range bodies {
+			bodies[i] = bodyOf(i)
+		}
+		rep, runErr = sim.Run(simCfg, bodies)
+	}
 	if runErr != nil {
 		if errors.Is(runErr, sim.ErrBudgetExhausted) {
 			return nil, fmt.Errorf("%w: %v", ErrNoTermination, runErr)
@@ -270,10 +285,14 @@ func newResult(rep *sim.Report, k int) *SetAgreementResult {
 	for p, v := range rep.Decided {
 		res.Decisions[int(p)] = int64(v)
 	}
-	for _, v := range rep.DecidedValues() {
+	// This is the lab summary path (every scenario run folds a result);
+	// collect into stack scratch via the non-allocating variants.
+	var vals [sim.MaxProcs]sim.Value
+	for _, v := range rep.DecidedValuesAppend(vals[:0]) {
 		res.Distinct = append(res.Distinct, int64(v))
 	}
-	for _, p := range rep.Crashed.Members() {
+	var pids [sim.MaxProcs]sim.PID
+	for _, p := range rep.Crashed.MembersAppend(pids[:0]) {
 		res.Crashed = append(res.Crashed, int(p))
 	}
 	return res
