@@ -33,6 +33,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 )
@@ -95,21 +96,34 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if gate(os.Stdout, baseline, current, *tolerance, *minSpeedup) {
+		os.Exit(1)
+	}
+}
 
-	failed := false
+// gate runs every check of current against baseline, writing the report to
+// w, and returns whether any fatal check failed.
+//
+// Fractional-tolerance comparisons are meaningless against a zero baseline
+// (the limit collapses to zero and grace margins can wave a real regression
+// through), so zero baseline entries are exact-match-required: any non-zero
+// current value against a zero baseline fails — always fatally, since a
+// zero recorded cost is either corrupt data or a metric the current report
+// must also lack.
+func gate(w io.Writer, baseline, current *benchReport, tolerance, minSpeedup float64) (failed bool) {
 	fail := func(format string, args ...any) {
 		failed = true
-		fmt.Printf("FAIL: "+format+"\n", args...)
+		fmt.Fprintf(w, "FAIL: "+format+"\n", args...)
 	}
 	// Wall-clock comparisons only mean something on comparable hardware;
 	// demote them to warnings when the reports come from different machines.
 	sameHardware := baseline.GOMAXPROCS == current.GOMAXPROCS
 	wallFail := fail
 	if !sameHardware {
-		fmt.Printf("note: baseline GOMAXPROCS=%d vs current GOMAXPROCS=%d — different machine; wall-clock gates demoted to warnings (regenerate the baseline here to re-arm)\n",
+		fmt.Fprintf(w, "note: baseline GOMAXPROCS=%d vs current GOMAXPROCS=%d — different machine; wall-clock gates demoted to warnings (regenerate the baseline here to re-arm)\n",
 			baseline.GOMAXPROCS, current.GOMAXPROCS)
 		wallFail = func(format string, args ...any) {
-			fmt.Printf("warn: "+format+"\n", args...)
+			fmt.Fprintf(w, "warn: "+format+"\n", args...)
 		}
 	}
 
@@ -121,12 +135,12 @@ func main() {
 		fail("runner fingerprints differ: machine %s vs goroutine %s",
 			current.FingerprintMachine, current.FingerprintGoroutine)
 	}
-	if current.SpeedupMachineVsGoroutine < *minSpeedup {
+	if current.SpeedupMachineVsGoroutine < minSpeedup {
 		fail("matrix speedup %.2fx below required %.2fx",
-			current.SpeedupMachineVsGoroutine, *minSpeedup)
+			current.SpeedupMachineVsGoroutine, minSpeedup)
 	} else {
-		fmt.Printf("ok:   matrix speedup %.2fx (floor %.2fx)\n",
-			current.SpeedupMachineVsGoroutine, *minSpeedup)
+		fmt.Fprintf(w, "ok:   matrix speedup %.2fx (floor %.2fx)\n",
+			current.SpeedupMachineVsGoroutine, minSpeedup)
 	}
 
 	base := make(map[string]benchResult, len(baseline.Benchmarks))
@@ -137,28 +151,38 @@ func main() {
 	for _, cur := range current.Benchmarks {
 		b, ok := base[cur.Name]
 		if !ok {
-			fmt.Printf("note: %s has no baseline (new benchmark)\n", cur.Name)
+			fmt.Fprintf(w, "note: %s has no baseline (new benchmark)\n", cur.Name)
 			continue
 		}
 		seen++
-		nsLimit := b.NsPerOp * (1 + *tolerance)
 		switch {
-		case cur.NsPerOp > nsLimit:
+		case b.NsPerOp == 0:
+			if cur.NsPerOp != 0 {
+				fail("%s: baseline records 0 ns/op (exact match required); current %.0f ns/op",
+					cur.Name, cur.NsPerOp)
+			}
+		case cur.NsPerOp > b.NsPerOp*(1+tolerance):
 			wallFail("%s: %.0f ns/op exceeds baseline %.0f ns/op by more than %.0f%%",
-				cur.Name, cur.NsPerOp, b.NsPerOp, *tolerance*100)
-		case cur.NsPerOp < b.NsPerOp*(1-*tolerance):
-			fmt.Printf("ok:   %s improved: %.0f -> %.0f ns/op (consider refreshing the baseline)\n",
+				cur.Name, cur.NsPerOp, b.NsPerOp, tolerance*100)
+		case cur.NsPerOp < b.NsPerOp*(1-tolerance):
+			fmt.Fprintf(w, "ok:   %s improved: %.0f -> %.0f ns/op (consider refreshing the baseline)\n",
 				cur.Name, b.NsPerOp, cur.NsPerOp)
 		default:
-			fmt.Printf("ok:   %s: %.0f ns/op (baseline %.0f)\n", cur.Name, cur.NsPerOp, b.NsPerOp)
+			fmt.Fprintf(w, "ok:   %s: %.0f ns/op (baseline %.0f)\n", cur.Name, cur.NsPerOp, b.NsPerOp)
 		}
-		if limit := float64(b.AllocsPerOp) * (1 + *tolerance); float64(cur.AllocsPerOp) > limit && cur.AllocsPerOp > b.AllocsPerOp+8 {
+		switch {
+		case b.AllocsPerOp == 0:
+			if cur.AllocsPerOp != 0 {
+				fail("%s: baseline records 0 allocs/op (exact match required); current %d allocs/op",
+					cur.Name, cur.AllocsPerOp)
+			}
+		case float64(cur.AllocsPerOp) > float64(b.AllocsPerOp)*(1+tolerance) && cur.AllocsPerOp > b.AllocsPerOp+8:
 			// Alloc counts are hardware-independent in principle, but map/GC
 			// internals vary across Go builds; gate them with the wall rules.
 			wallFail("%s: %d allocs/op exceeds baseline %d by more than %.0f%%",
-				cur.Name, cur.AllocsPerOp, b.AllocsPerOp, *tolerance*100)
+				cur.Name, cur.AllocsPerOp, b.AllocsPerOp, tolerance*100)
 		}
-		if b.StepsPerOp > 0 && cur.StepsPerOp > 0 && b.StepsPerOp != cur.StepsPerOp {
+		if b.StepsPerOp != cur.StepsPerOp {
 			fail("%s: steps/op drifted: %.1f -> %.1f (simulation is deterministic; this is a semantic change)",
 				cur.Name, b.StepsPerOp, cur.StepsPerOp)
 		}
@@ -166,8 +190,8 @@ func main() {
 	if seen == 0 {
 		fail("no benchmark overlaps the baseline")
 	}
-	if failed {
-		os.Exit(1)
+	if !failed {
+		fmt.Fprintln(w, "benchgate: all checks passed")
 	}
-	fmt.Println("benchgate: all checks passed")
+	return failed
 }

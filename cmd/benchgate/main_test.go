@@ -1,0 +1,122 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// report builds a minimal well-formed pair member: one benchmark plus the
+// report-level fields the gate checks.
+func report(bench benchResult) *benchReport {
+	return &benchReport{
+		Schema:                    1,
+		GOMAXPROCS:                8,
+		MatrixSeeds:               2,
+		Benchmarks:                []benchResult{bench},
+		SpeedupMachineVsGoroutine: 6,
+		FingerprintMachine:        "aa",
+		FingerprintGoroutine:      "aa",
+	}
+}
+
+func runGate(t *testing.T, baseline, current benchResult) (bool, string) {
+	t.Helper()
+	var out strings.Builder
+	failed := gate(&out, report(baseline), report(current), 0.20, 5.0)
+	return failed, out.String()
+}
+
+// TestGateZeroBaselineIsExactMatch is the regression test for the silent
+// pass: fractional tolerance against a 0 ns/op or 0 allocs/op baseline
+// entry used to yield a vacuous limit, letting any regression through. Zero
+// baselines are now exact-match-required.
+func TestGateZeroBaselineIsExactMatch(t *testing.T) {
+	good := benchResult{Name: "b", NsPerOp: 100, AllocsPerOp: 10, StepsPerOp: 33}
+
+	// 0 ns/op baseline vs a real current cost: must fail.
+	if failed, out := runGate(t, benchResult{Name: "b", AllocsPerOp: 10, StepsPerOp: 33}, good); !failed {
+		t.Fatalf("zero ns/op baseline passed a non-zero current:\n%s", out)
+	}
+	// 0 allocs/op baseline vs current allocations: must fail even within the
+	// +8 grace that applies to non-zero baselines.
+	zeroAllocs := benchResult{Name: "b", NsPerOp: 100, AllocsPerOp: 0, StepsPerOp: 33}
+	withAllocs := benchResult{Name: "b", NsPerOp: 100, AllocsPerOp: 5, StepsPerOp: 33}
+	if failed, out := runGate(t, zeroAllocs, withAllocs); !failed {
+		t.Fatalf("zero allocs/op baseline passed a non-zero current:\n%s", out)
+	}
+	// 0 steps/op baseline vs a measured current: used to be skipped
+	// entirely; must fail.
+	zeroSteps := benchResult{Name: "b", NsPerOp: 100, AllocsPerOp: 10}
+	if failed, out := runGate(t, zeroSteps, good); !failed {
+		t.Fatalf("zero steps/op baseline passed a measured current:\n%s", out)
+	}
+	// Exact zero-for-zero matches pass.
+	zero := benchResult{Name: "b"}
+	if failed, out := runGate(t, zero, zero); failed {
+		t.Fatalf("all-zero exact match failed:\n%s", out)
+	}
+}
+
+func TestGateTolerance(t *testing.T) {
+	base := benchResult{Name: "b", NsPerOp: 100, AllocsPerOp: 100, StepsPerOp: 33}
+
+	// Within tolerance: pass.
+	cur := base
+	cur.NsPerOp = 115
+	if failed, out := runGate(t, base, cur); failed {
+		t.Fatalf("within-tolerance run failed:\n%s", out)
+	}
+	// ns/op beyond tolerance: fail.
+	cur.NsPerOp = 130
+	if failed, _ := runGate(t, base, cur); !failed {
+		t.Fatal("25% ns/op regression passed")
+	}
+	// allocs/op beyond tolerance and grace: fail.
+	cur = base
+	cur.AllocsPerOp = 130
+	if failed, _ := runGate(t, base, cur); !failed {
+		t.Fatal("30% allocs/op regression passed")
+	}
+	// steps/op drift: fail (deterministic simulation).
+	cur = base
+	cur.StepsPerOp = 34
+	if failed, _ := runGate(t, base, cur); !failed {
+		t.Fatal("steps/op drift passed")
+	}
+}
+
+func TestGateReportLevelChecks(t *testing.T) {
+	base := benchResult{Name: "b", NsPerOp: 100, AllocsPerOp: 10, StepsPerOp: 33}
+
+	// Speedup below the floor: fail.
+	b, c := report(base), report(base)
+	c.SpeedupMachineVsGoroutine = 3
+	var out strings.Builder
+	if !gate(&out, b, c, 0.20, 5.0) {
+		t.Fatal("sub-floor speedup passed")
+	}
+	// Cross-engine fingerprint mismatch: fail.
+	c = report(base)
+	c.FingerprintGoroutine = "bb"
+	out.Reset()
+	if !gate(&out, b, c, 0.20, 5.0) {
+		t.Fatal("fingerprint mismatch passed")
+	}
+	// Different GOMAXPROCS demotes wall-clock gates to warnings but keeps
+	// deterministic gates fatal.
+	c = report(base)
+	c.GOMAXPROCS = 1
+	c.Benchmarks[0].NsPerOp = 1000
+	out.Reset()
+	if gate(&out, b, c, 0.20, 5.0) {
+		t.Fatalf("wall-clock regression stayed fatal on different hardware:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "warn:") {
+		t.Fatalf("expected demoted warning, got:\n%s", out.String())
+	}
+	c.Benchmarks[0].StepsPerOp = 44
+	out.Reset()
+	if !gate(&out, b, c, 0.20, 5.0) {
+		t.Fatal("steps/op drift passed on different hardware")
+	}
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"weakestfd/internal/cli"
+	"weakestfd/internal/explore"
+	"weakestfd/internal/sim"
+)
+
+// runExplore is the `fdlab explore` subcommand: a bounded-exhaustive sweep
+// of one system, emitting replayable artifacts for every violation.
+func runExplore(args []string) {
+	fs := flag.NewFlagSet("explore", flag.ExitOnError)
+	var (
+		system     = fs.String("system", "fig1", "system under exploration: "+strings.Join(explore.SystemNames(), "|"))
+		n          = fs.Int("n", 3, "number of processes (2..4)")
+		f          = fs.Int("f", 0, "resilience for fig2 (default n-1)")
+		blocks     = fs.Int("blocks", 3, "max adversarial blocks per schedule (context-switch bound)")
+		blockLen   = fs.Int("block", 24, "max steps per adversarial block")
+		budget     = fs.Int64("budget", 4096, "step budget per run")
+		crashTimes = fs.String("crash-times", "0,3", "crash-time grid, comma-separated")
+		sym        = fs.Bool("sym", false, "collapse crash sets up to process renaming (quick-scan heuristic, not a sound reduction)")
+		workers    = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		maxViol    = fs.Int("max-violations", 4, "stop after this many distinct violations")
+		outDir     = fs.String("out", ".", "directory for counterexample artifacts")
+	)
+	_ = fs.Parse(args)
+	validatePool(*workers, 1)
+	if *n < 2 || *n > 4 {
+		log.Fatalf("-n %d out of the explorable range [2,4] (the schedule space explodes beyond n=4)", *n)
+	}
+	if *blocks <= 0 || *blockLen <= 0 || *budget <= 0 {
+		log.Fatalf("-blocks, -block and -budget must be positive (got %d, %d, %d)", *blocks, *blockLen, *budget)
+	}
+	if *maxViol <= 0 {
+		log.Fatalf("-max-violations must be >= 1, got %d", *maxViol)
+	}
+	ff := *f
+	if ff == 0 {
+		ff = *n - 1
+	}
+	if ff < 1 || ff > *n-1 {
+		log.Fatalf("-f %d out of range [1,%d] for n=%d", *f, *n-1, *n)
+	}
+	sys, err := explore.NewSystem(*system, *n, ff)
+	if err != nil {
+		log.Fatal(err)
+	}
+	grid, err := cli.ParseTimes("-crash-times", *crashTimes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	times := make([]sim.Time, len(grid))
+	for i, t := range grid {
+		times[i] = sim.Time(t)
+	}
+
+	res := explore.Explore(explore.Config{
+		System:        sys,
+		MaxBlocks:     *blocks,
+		MaxBlock:      *blockLen,
+		Budget:        *budget,
+		MaxFaults:     ff, // restricts the explored environment to E_f
+		CrashTimes:    times,
+		Symmetry:      *sym,
+		Workers:       *workers,
+		MaxViolations: *maxViol,
+	})
+	fmt.Printf("explored %s (n=%d, f=%d): %d configurations, %d runs, longest run %d steps",
+		res.System, *n, ff, res.Configs, res.Runs, res.MaxSteps)
+	if res.SettledRuns > 0 {
+		fmt.Printf(", %d settled", res.SettledRuns)
+	}
+	fmt.Printf(", %dms\n", res.ElapsedMS)
+	if res.Configs == 0 || res.Runs == 0 {
+		log.Fatal("empty sweep: no configurations were explored (check -n/-f/-crash-times)")
+	}
+	if len(res.Violations) == 0 {
+		fmt.Println("no property violations")
+		return
+	}
+	for i, v := range res.Violations {
+		fmt.Printf("VIOLATION: %v\n", v)
+		path := filepath.Join(*outDir, fmt.Sprintf("counterexample-%s-%d.json", res.System, i+1))
+		if err := v.Artifact.WriteFile(path); err != nil {
+			log.Fatalf("writing %s: %v", path, err)
+		}
+		fmt.Printf("  replay with: fdlab replay -in %s\n", path)
+	}
+	os.Exit(1)
+}
+
+// runReplay is the `fdlab replay` subcommand: it re-executes a
+// counterexample artifact deterministically and reports whether the
+// recorded violation reproduced.
+func runReplay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	var (
+		in    = fs.String("in", "", "counterexample artifact (from fdlab explore)")
+		trace = fs.Bool("trace", false, "print every replayed step")
+	)
+	_ = fs.Parse(args)
+	if *in == "" {
+		log.Fatal("-in is required")
+	}
+	a, err := explore.ReadArtifact(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replaying %s: system %s n=%d f=%d, oracle %s, %d scheduled steps, budget %d\n",
+		*in, a.System, a.N, a.F, a.OracleName, len(a.Schedule), a.Budget)
+	fmt.Printf("recorded violation (%s): %s\n", a.Property, a.Violation)
+
+	var hook func(idx int, t sim.Time, enabled sim.Set, chosen sim.PID)
+	if *trace {
+		hook = func(idx int, t sim.Time, enabled sim.Set, chosen sim.PID) {
+			fmt.Printf("  step %4d t=%-4d enabled=%-18v -> %v\n", idx, int64(t), enabled, chosen)
+		}
+	}
+	run, violation, err := a.Replay(hook)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("run: %d steps, decided %d, crashed %v\n",
+		run.Report.Steps, len(run.Report.Decided), run.Report.Crashed)
+	if violation == nil {
+		fmt.Println("violation did NOT reproduce (artifact stale? code changed?)")
+		os.Exit(1)
+	}
+	fmt.Printf("violation reproduced: %v\n", violation)
+}

@@ -3,6 +3,9 @@
 //	fdlab extract   — Figure 3: extract Υ^f from a stable detector
 //	fdlab falsify   — Theorems 1/5: the adversary against Ω^f extractors
 //	fdlab matrix    — run scenario families through the internal/lab engine
+//	fdlab explore   — bounded-exhaustive schedule-space sweep with property
+//	                  checking and counterexample shrinking
+//	fdlab replay    — re-execute an emitted counterexample step by step
 //
 // Examples:
 //
@@ -10,6 +13,8 @@
 //	fdlab extract -n 5 -from omegaF -f 2 -seed 3
 //	fdlab falsify -n 5 -f 4 -candidate staleness -switches 30
 //	fdlab matrix -family waves -seeds 5 -workers 8 -json waves.json
+//	fdlab explore -system fig1 -n 3 -blocks 3
+//	fdlab replay -in counterexample-fig1-1.json -trace
 package main
 
 import (
@@ -38,14 +43,25 @@ func main() {
 		runFalsify(os.Args[2:])
 	case "matrix":
 		runMatrix(os.Args[2:])
+	case "explore":
+		runExplore(os.Args[2:])
+	case "replay":
+		runReplay(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: fdlab <extract|falsify|matrix> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: fdlab <extract|falsify|matrix|explore|replay> [flags]")
 	os.Exit(2)
+}
+
+// validatePool applies the shared pool-flag validation, fatally.
+func validatePool(workers, seeds int) {
+	if err := cli.ValidatePool(workers, seeds); err != nil {
+		log.Fatal(err)
+	}
 }
 
 func runMatrix(args []string) {
@@ -60,6 +76,7 @@ func runMatrix(args []string) {
 		legacy      = fs.Bool("legacy-runner", false, "drive simulations with the goroutine-per-process engine")
 	)
 	_ = fs.Parse(args)
+	validatePool(*workers, *seeds)
 	weakestfd.SetLegacyRunner(*legacy)
 
 	if *list {

@@ -18,6 +18,7 @@
 //	paperbench -run E4              # one legacy experiment table
 //	paperbench -seeds 10            # more seeds per configuration
 //	paperbench -bench-json out.json # measure the benchmark suite (CI gate)
+//	paperbench -explore             # bounded-exhaustive schedule-space sweep
 //	paperbench -legacy-runner       # goroutine engine instead of step machines
 package main
 
@@ -30,6 +31,7 @@ import (
 	"strings"
 
 	"weakestfd"
+	"weakestfd/internal/cli"
 	"weakestfd/internal/lab"
 	"weakestfd/internal/lab/scenarios"
 )
@@ -68,10 +70,26 @@ func main() {
 		list        = flag.Bool("list", false, "list scenario families and exit")
 		tables      = flag.Bool("tables", false, "run the legacy per-theorem tables E1..E11")
 		benchJSON   = flag.String("bench-json", "", "measure the benchmark suite and write the JSON report to this file")
+		exploreRun  = flag.Bool("explore", false, "run the bounded-exhaustive schedule-space sweep (internal/explore) and exit")
 		legacy      = flag.Bool("legacy-runner", false, "drive simulations with the goroutine-per-process engine instead of the step-machine engine")
 	)
 	flag.Parse()
+	// Reject pool settings that would silently produce empty or hung
+	// matrices: negative workers (0 means GOMAXPROCS) and non-positive seeds.
+	if err := cli.ValidatePool(*workers, *seeds); err != nil {
+		log.Fatal(err)
+	}
 	weakestfd.SetLegacyRunner(*legacy)
+
+	if *exploreRun {
+		if *legacy {
+			log.Fatal("-explore drives the step-machine engine directly and cannot run on the goroutine engine; drop -legacy-runner")
+		}
+		if err := runExploreSuite(*workers); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *benchJSON != "" {
 		// The canonical bench workload is the quick matrix at 2 seeds (what

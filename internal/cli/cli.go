@@ -68,3 +68,38 @@ func DefaultProposals(n int) []int64 {
 	}
 	return out
 }
+
+// ParseTimes parses a comma-separated list of non-negative step times for
+// the named flag, e.g. "0,3"; an empty string yields nil (caller applies
+// defaults).
+func ParseTimes(flagName, s string) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int64, 0, len(parts))
+	for _, part := range parts {
+		t, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("cli: bad %s entry %q: %w", flagName, part, err)
+		}
+		if t < 0 {
+			return nil, fmt.Errorf("cli: negative %s entry %d", flagName, t)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// ValidatePool rejects worker-pool and seed counts that would silently
+// produce an empty or hung run: -workers below 0 (0 means GOMAXPROCS) and
+// -seeds below 1 are configuration errors, not requests.
+func ValidatePool(workers, seeds int) error {
+	if workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (0 = GOMAXPROCS), got %d", workers)
+	}
+	if seeds <= 0 {
+		return fmt.Errorf("-seeds must be >= 1, got %d", seeds)
+	}
+	return nil
+}

@@ -34,6 +34,14 @@ type Machine struct {
 	// (or Start returned true for a 0-converge).
 	Picked    sim.Value
 	Committed bool
+
+	// Adopt, when non-nil, replaces the round-2 adopt rule — what a
+	// non-committing process picks when some scan entry proposes commit. The
+	// correct rule (minimum of the smallest committing set) is what makes
+	// C-Agreement hold; the hook exists solely for mutation testing: the
+	// schedule-space explorer (internal/explore) proves it catches the broken
+	// protocol variant built on a wrong adopt rule. Protocols never set it.
+	Adopt func(in sim.Value, smallest ValueSet) sim.Value
 }
 
 // Bind fixes the machine's process identity; call once from StepMachine.Init.
@@ -95,7 +103,11 @@ func (m *Machine) StepOp() (done bool) {
 		case allCommit:
 			m.Picked, m.Committed = m.vs.Min(), true
 		case smallest != nil:
-			m.Picked, m.Committed = smallest.Min(), false
+			if m.Adopt != nil {
+				m.Picked, m.Committed = m.Adopt(m.in, smallest), false
+			} else {
+				m.Picked, m.Committed = smallest.Min(), false
+			}
 		default:
 			m.Picked, m.Committed = m.in, false
 		}

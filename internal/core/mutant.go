@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+
+	"weakestfd/internal/converge"
+	"weakestfd/internal/sim"
+)
+
+// Fig1Mutation names an intentionally broken variant of the Figure 1
+// protocol. Mutants exist to calibrate the schedule-space explorer
+// (internal/explore): a useful bug-finding harness must demonstrably catch a
+// protocol that is wrong in a way the seeded-random test suites miss. They
+// are never used by the real protocol paths.
+type Fig1Mutation int
+
+const (
+	// MutNone is the unmutated protocol (MutantMachine == Machine).
+	MutNone Fig1Mutation = iota
+	// MutWrongAdopt breaks the k-converge adopt rule: a process that does not
+	// commit keeps its own input instead of adopting the minimum of the
+	// smallest committing set. This voids C-Agreement — the chain-containment
+	// argument that pins all picked values inside one committing set — and
+	// with it the protocol's Agreement property: under the right
+	// interleaving, a non-committing process escapes the round with its own
+	// value, commits it solo in a later round, and the decision register sees
+	// more than n−1 distinct values. Random schedules essentially never
+	// produce that interleaving, which is exactly why the explorer exists.
+	MutWrongAdopt
+)
+
+// String implements fmt.Stringer.
+func (m Fig1Mutation) String() string {
+	switch m {
+	case MutNone:
+		return "none"
+	case MutWrongAdopt:
+		return "wrong-adopt"
+	default:
+		return fmt.Sprintf("Fig1Mutation(%d)", int(m))
+	}
+}
+
+// MutantMachine returns the Figure 1 automaton with the given mutation
+// applied, proposing the given value. MutNone yields the correct machine.
+func (g *Fig1) MutantMachine(input sim.Value, mut Fig1Mutation) sim.StepMachine {
+	m := &fig1Machine{g: g, v: input}
+	switch mut {
+	case MutNone:
+	case MutWrongAdopt:
+		m.conv.Adopt = func(in sim.Value, _ converge.ValueSet) sim.Value { return in }
+	default:
+		panic(fmt.Sprintf("core: unknown Fig1Mutation %d", int(mut)))
+	}
+	return m
+}

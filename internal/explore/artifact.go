@@ -1,0 +1,170 @@
+package explore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+
+	"weakestfd/internal/sim"
+)
+
+// Artifact is a replayable counterexample: everything needed to rebuild the
+// configuration and re-execute the violating schedule deterministically.
+// `fdlab replay` consumes these files; the explorer emits them.
+type Artifact struct {
+	Schema int `json:"schema"`
+	// System is the registry name (see NewSystem) and N/F its size and
+	// resilience.
+	System string `json:"system"`
+	N      int    `json:"n"`
+	F      int    `json:"f"`
+	// Proposals documents the canonical inputs of the run (informational;
+	// systems regenerate them).
+	Proposals []int64 `json:"proposals,omitempty"`
+	// Crashes maps 0-based PIDs (as JSON object keys) to crash times.
+	Crashes map[string]int64 `json:"crashes,omitempty"`
+	// Oracle reconstructs the detector history: its stable set and seed.
+	OracleName   string `json:"oracle"`
+	OracleStable []int  `json:"oracle_stable"`
+	OracleSeed   int64  `json:"oracle_seed,omitempty"`
+	// Budget is the step cap of the run.
+	Budget int64 `json:"budget"`
+	// Schedule is the (shrunk) grant sequence; replay follows it through a
+	// sim.FixedSchedule with a fair round-robin tail.
+	Schedule []int `json:"schedule"`
+	// Property and Violation record what failed and how.
+	Property  string `json:"property"`
+	Violation string `json:"violation"`
+}
+
+// newArtifact assembles the artifact for one shrunk violation.
+func newArtifact(cfg Config, run *Run, property, message string, schedule []sim.PID) *Artifact {
+	a := &Artifact{
+		Schema:     1,
+		System:     run.System,
+		N:          cfg.System.N(),
+		F:          cfg.System.MaxFaults(),
+		OracleName: run.Oracle.Name,
+		OracleSeed: run.Oracle.Seed,
+		Budget:     cfg.Budget,
+		Property:   property,
+		Violation:  message,
+	}
+	for _, v := range run.Proposals {
+		a.Proposals = append(a.Proposals, int64(v))
+	}
+	for _, p := range run.Pattern.Faulty().Members() {
+		if a.Crashes == nil {
+			a.Crashes = make(map[string]int64)
+		}
+		a.Crashes[strconv.Itoa(int(p))] = int64(run.Pattern.CrashAt(p))
+	}
+	for _, p := range run.Oracle.Stable.Members() {
+		a.OracleStable = append(a.OracleStable, int(p))
+	}
+	a.Schedule = make([]int, len(schedule))
+	for i, p := range schedule {
+		a.Schedule[i] = int(p)
+	}
+	return a
+}
+
+// WriteFile writes the artifact as indented JSON.
+func (a *Artifact) WriteFile(path string) error {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadArtifact loads an artifact file.
+func ReadArtifact(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if a.Schema != 1 {
+		return nil, fmt.Errorf("%s: unsupported artifact schema %d", path, a.Schema)
+	}
+	if a.N < 2 || a.N > sim.MaxProcs {
+		return nil, fmt.Errorf("%s: n=%d out of range [2,%d]", path, a.N, sim.MaxProcs)
+	}
+	if a.F < 1 || a.F > a.N-1 {
+		return nil, fmt.Errorf("%s: f=%d out of range [1,%d]", path, a.F, a.N-1)
+	}
+	if a.Budget <= 0 {
+		return nil, fmt.Errorf("%s: non-positive budget %d", path, a.Budget)
+	}
+	return &a, nil
+}
+
+// pattern reconstructs the failure pattern.
+func (a *Artifact) pattern() (sim.Pattern, error) {
+	crashes := make(map[sim.PID]sim.Time, len(a.Crashes))
+	for key, t := range a.Crashes {
+		pid, err := strconv.Atoi(key)
+		if err != nil || pid < 0 || pid >= a.N {
+			return sim.Pattern{}, fmt.Errorf("explore: bad crash pid %q for n=%d", key, a.N)
+		}
+		crashes[sim.PID(pid)] = sim.Time(t)
+	}
+	return sim.CrashPattern(a.N, crashes), nil
+}
+
+// Replay rebuilds the configuration and re-executes the recorded schedule
+// through a sim.FixedSchedule on fresh state. It returns the completed run
+// and the property-check error — non-nil exactly when the recorded
+// violation reproduced. hook, when non-nil, observes every grant (for step
+// traces).
+func (a *Artifact) Replay(hook func(idx int, t sim.Time, enabled sim.Set, chosen sim.PID)) (*Run, error, error) {
+	sys, err := NewSystem(a.System, a.N, a.F)
+	if err != nil {
+		return nil, nil, err
+	}
+	pattern, err := a.pattern()
+	if err != nil {
+		return nil, nil, err
+	}
+	var stable sim.Set
+	for _, p := range a.OracleStable {
+		if p < 0 || p >= a.N {
+			return nil, nil, fmt.Errorf("explore: oracle stable pid %d out of range for n=%d", p, a.N)
+		}
+		stable = stable.Add(sim.PID(p))
+	}
+	oracle := OracleChoice{Name: a.OracleName, Stable: stable, Seed: a.OracleSeed}
+
+	prefix := make([]sim.PID, len(a.Schedule))
+	for i, p := range a.Schedule {
+		if p < 0 || p >= a.N {
+			return nil, nil, fmt.Errorf("explore: schedule pid %d out of range for n=%d", p, a.N)
+		}
+		prefix[i] = sim.PID(p)
+	}
+	sched := sim.NewFixedSchedule(prefix)
+	sched.OnGrant = hook
+
+	run := execute(sys, pattern, oracle, sched, a.Budget)
+	run.Schedule = prefix
+	var checked *error
+	for _, prop := range sys.Properties() {
+		if prop.Name() != a.Property {
+			continue
+		}
+		err := prop.Check(run)
+		checked = &err
+	}
+	if checked == nil {
+		// A missing property is a stale or corrupt artifact, not a
+		// non-reproduction: the recorded check was never run at all.
+		return run, nil, fmt.Errorf("explore: system %s has no property %q (artifact from an older version?)",
+			a.System, a.Property)
+	}
+	return run, *checked, nil
+}

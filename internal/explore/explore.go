@@ -1,0 +1,384 @@
+package explore
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"weakestfd/internal/lab"
+	"weakestfd/internal/sim"
+)
+
+// Config bounds one exploration. The zero value of every field has a usable
+// default; only System is required.
+type Config struct {
+	// System is the protocol under exploration.
+	System System
+	// MaxBlocks bounds the number of adversarial blocks per schedule (the
+	// context-switch bound); the fair round-robin tail after the last block
+	// is free. Default 2.
+	MaxBlocks int
+	// MaxBlock bounds the length of one adversarial block. Default 48.
+	MaxBlock int
+	// Budget caps every run's total step count. Default 4096.
+	Budget int64
+	// MaxFaults overrides the system's environment E_f (0 keeps it).
+	MaxFaults int
+	// CrashTimes is the crash-time grid per faulty process. Default {0, 3}:
+	// crashed-from-the-start and a mid-protocol crash.
+	CrashTimes []sim.Time
+	// Symmetry enumerates crash sets up to process renaming — a speed
+	// heuristic, not a sound reduction, because proposals are pinned to
+	// PIDs (see patternsFor). Leave false for coverage claims.
+	Symmetry bool
+	// Workers is the lab worker pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// MaxViolations stops the exploration after this many distinct
+	// violations (they are deduplicated per configuration and property).
+	// Default 4.
+	MaxViolations int
+	// ShrinkBudget caps the number of candidate replays the shrinker spends
+	// per violation. Default 2000.
+	ShrinkBudget int
+	// OnConfig, when non-nil, receives a progress line per finished
+	// (pattern × oracle) configuration.
+	OnConfig func(name string, runs int64)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBlocks == 0 {
+		c.MaxBlocks = 2
+	}
+	if c.MaxBlock == 0 {
+		c.MaxBlock = 48
+	}
+	if c.Budget == 0 {
+		c.Budget = 4096
+	}
+	if c.MaxFaults <= 0 || c.MaxFaults > c.System.MaxFaults() {
+		c.MaxFaults = c.System.MaxFaults()
+	}
+	if len(c.CrashTimes) == 0 {
+		c.CrashTimes = []sim.Time{0, 3}
+	}
+	if c.MaxViolations <= 0 {
+		c.MaxViolations = 4 // a non-positive cap would stop the sweep at birth
+	}
+	if c.ShrinkBudget == 0 {
+		c.ShrinkBudget = 2000
+	}
+	return c
+}
+
+// Violation is one property failure, with its shrunk replayable artifact.
+type Violation struct {
+	// Property is the violated property's name.
+	Property string
+	// Message describes the failure (from Property.Check).
+	Message string
+	// Pattern and Oracle identify the configuration.
+	Pattern string
+	Oracle  string
+	// Steps is the length of the originally found violating run;
+	// ShrunkSteps the length of the shrunk schedule prefix.
+	Steps       int64
+	ShrunkSteps int
+	// Artifact is the replayable counterexample.
+	Artifact *Artifact
+}
+
+func (v *Violation) String() string {
+	return fmt.Sprintf("%s violated under %s, %s (run %d steps, shrunk to %d): %s",
+		v.Property, v.Pattern, v.Oracle, v.Steps, v.ShrunkSteps, v.Message)
+}
+
+// Result summarizes one exploration.
+type Result struct {
+	// System is the explored system's name.
+	System string
+	// Configs is the number of (pattern × oracle) configurations.
+	Configs int
+	// Runs is the number of schedules executed (shrinking replays excluded).
+	Runs int64
+	// MaxSteps is the longest run observed.
+	MaxSteps int64
+	// SettledRuns counts extraction runs whose outputs settled (0 for
+	// terminating systems, where every completed run is conclusive).
+	SettledRuns int64
+	// Violations are the distinct property failures, shrunk and replayable.
+	Violations []*Violation
+	// ElapsedMS is the exploration wall-clock time.
+	ElapsedMS int64
+}
+
+// block is one adversarial schedule segment: up to n consecutive steps of
+// pid (fewer if pid returns or crashes first).
+type block struct {
+	pid sim.PID
+	n   int
+}
+
+// blockSchedule plays a block sequence then a fair round-robin tail,
+// recording the granted sequence and per-block grant counts.
+type blockSchedule struct {
+	blocks  []block
+	bi      int
+	left    int
+	tail    sim.Schedule
+	granted []sim.PID
+	counts  []int
+}
+
+func newBlockSchedule(blocks []block) *blockSchedule {
+	s := &blockSchedule{blocks: blocks, tail: sim.RoundRobin(), counts: make([]int, len(blocks))}
+	if len(blocks) > 0 {
+		s.left = blocks[0].n
+	}
+	return s
+}
+
+// Next implements sim.Schedule.
+func (s *blockSchedule) Next(t sim.Time, enabled sim.Set) sim.PID {
+	for s.bi < len(s.blocks) {
+		b := s.blocks[s.bi]
+		if s.left > 0 && enabled.Has(b.pid) {
+			s.left--
+			s.counts[s.bi]++
+			s.granted = append(s.granted, b.pid)
+			return b.pid
+		}
+		s.bi++
+		if s.bi < len(s.blocks) {
+			s.left = s.blocks[s.bi].n
+		}
+	}
+	p := s.tail.Next(t, enabled)
+	s.granted = append(s.granted, p)
+	return p
+}
+
+// explorer carries the shared state of one Explore invocation.
+type explorer struct {
+	cfg        Config
+	runs       atomic.Int64
+	settled    atomic.Int64
+	maxSteps   atomic.Int64
+	violations atomic.Int64
+
+	mu    sync.Mutex
+	found []*Violation
+	seen  map[string]bool // config+property dedup
+}
+
+// Explore runs the bounded-exhaustive sweep for cfg.System, parallelized
+// over the internal/lab worker pool: each (pattern × oracle) configuration
+// becomes one lab scenario whose run is the full schedule DFS.
+func Explore(cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	e := &explorer{cfg: cfg, seen: make(map[string]bool)}
+	sys := cfg.System
+
+	type job struct {
+		pattern sim.Pattern
+		oracle  OracleChoice
+	}
+	var jobs []job
+	for _, p := range patternsFor(sys.N(), cfg.MaxFaults, cfg.CrashTimes, cfg.Symmetry) {
+		for _, o := range sys.Oracles(p) {
+			jobs = append(jobs, job{pattern: p, oracle: o})
+		}
+	}
+
+	start := time.Now()
+	scs := make([]lab.Scenario, len(jobs))
+	for i, jb := range jobs {
+		jb := jb
+		name := fmt.Sprintf("%s/%s/%s", sys.Name(), patternLabel(jb.pattern), jb.oracle.Name)
+		scs[i] = lab.Scenario{
+			Family: sys.Name(),
+			Name:   name,
+			Params: map[string]string{"pattern": patternLabel(jb.pattern), "oracle": jb.oracle.Name},
+			Seeds:  1,
+			Run: func(int64) (lab.Metrics, error) {
+				violations, runs := e.exploreConfig(jb.pattern, jb.oracle)
+				if cfg.OnConfig != nil {
+					cfg.OnConfig(name, runs)
+				}
+				m := lab.Metrics{"runs": float64(runs), "violations": float64(violations)}
+				if violations > 0 {
+					return m, fmt.Errorf("%d property violations", violations)
+				}
+				return m, nil
+			},
+		}
+	}
+	lab.Run(scs, lab.Options{Workers: cfg.Workers})
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return &Result{
+		System:      sys.Name(),
+		Configs:     len(jobs),
+		Runs:        e.runs.Load(),
+		MaxSteps:    e.maxSteps.Load(),
+		SettledRuns: e.settled.Load(),
+		Violations:  append([]*Violation(nil), e.found...),
+		ElapsedMS:   time.Since(start).Milliseconds(),
+	}
+}
+
+// stopped reports that the violation budget is spent and exploration should
+// wind down.
+func (e *explorer) stopped() bool {
+	return e.violations.Load() >= int64(e.cfg.MaxViolations)
+}
+
+// exploreConfig runs the block-sequence DFS for one (pattern, oracle)
+// configuration and returns how many distinct violations it contributed and
+// how many runs it executed. Configurations explore concurrently on the lab
+// pool, so the per-config run count is tracked locally, not read off the
+// shared counter.
+func (e *explorer) exploreConfig(pattern sim.Pattern, oracle OracleChoice) (violations, runs int64) {
+	c := &configRun{e: e, pattern: pattern, oracle: oracle}
+	// Root: the pure fair schedule, no adversarial blocks.
+	root, _ := c.run(nil)
+	c.violations += e.check(root, pattern, oracle)
+	c.dfs(nil)
+	return c.violations, c.runs
+}
+
+// configRun is the per-configuration DFS state.
+type configRun struct {
+	e          *explorer
+	pattern    sim.Pattern
+	oracle     OracleChoice
+	runs       int64
+	violations int64
+}
+
+// dfs extends the block prefix one block at a time. The length scan for a
+// given owner stops as soon as a run cut the block short (every longer
+// length is stutter-equivalent). Consecutive blocks share an owner only
+// when the previous block ran its full MaxBlock length: a partial-then-same
+// chain would duplicate the single longer block already scanned, while
+// full-block chaining is the canonical decomposition of uninterrupted solo
+// spans beyond MaxBlock — so one process can run up to MaxBlocks·MaxBlock
+// consecutive steps, each span costing ⌈span/MaxBlock⌉ of the block budget.
+func (c *configRun) dfs(blocks []block) {
+	e := c.e
+	if len(blocks) >= e.cfg.MaxBlocks || e.stopped() {
+		return
+	}
+	n := e.cfg.System.N()
+	last := sim.PID(-1)
+	lastFull := false
+	if len(blocks) > 0 {
+		last = blocks[len(blocks)-1].pid
+		lastFull = blocks[len(blocks)-1].n == e.cfg.MaxBlock
+	}
+	for p := 0; p < n; p++ {
+		if sim.PID(p) == last && !lastFull {
+			continue
+		}
+		for length := 1; length <= e.cfg.MaxBlock; length++ {
+			if e.stopped() {
+				return
+			}
+			child := append(append([]block(nil), blocks...), block{pid: sim.PID(p), n: length})
+			run, counts := c.run(child)
+			if counts[len(child)-1] < length {
+				// The block ended early (pid returned/crashed or the run
+				// finished): this run equals the previous length's run, and
+				// so would every longer one. Stutter-prune the scan.
+				break
+			}
+			c.violations += e.check(run, c.pattern, c.oracle)
+			c.dfs(child)
+		}
+	}
+}
+
+// run executes one schedule (blocks + fair tail) on fresh state.
+func (c *configRun) run(blocks []block) (*Run, []int) {
+	e := c.e
+	sched := newBlockSchedule(blocks)
+	run := execute(e.cfg.System, c.pattern, c.oracle, sched, e.cfg.Budget)
+	run.Schedule = sched.granted
+	c.runs++
+	e.runs.Add(1)
+	if run.OutputsSettled {
+		e.settled.Add(1)
+	}
+	for {
+		max := e.maxSteps.Load()
+		if run.Report.Steps <= max || e.maxSteps.CompareAndSwap(max, run.Report.Steps) {
+			break
+		}
+	}
+	return run, sched.counts
+}
+
+// execute runs one simulation of sys under the given schedule on fresh
+// shared state and returns the completed Run (properties not yet checked).
+func execute(sys System, pattern sim.Pattern, oracle OracleChoice, sched sim.Schedule, budget int64) *Run {
+	inst := sys.Instantiate(pattern, oracle)
+	simCfg := sim.Config{Pattern: pattern, Schedule: sched, Budget: budget}
+	if inst.Observe != nil {
+		observe := inst.Observe
+		simCfg.StopWhen = func(t sim.Time) bool { observe(t); return false }
+	}
+	rep, err := sim.RunMachines(simCfg, inst.Machines)
+	run := &Run{
+		System:    sys.Name(),
+		Pattern:   pattern,
+		Oracle:    oracle,
+		Proposals: inst.Proposals,
+		K:         inst.K,
+		Report:    rep,
+		Err:       err,
+	}
+	if inst.Finish != nil {
+		inst.Finish(run)
+	}
+	return run
+}
+
+// check evaluates every property against the run; each violation is
+// deduplicated per (pattern, oracle, property), shrunk, and recorded.
+func (e *explorer) check(run *Run, pattern sim.Pattern, oracle OracleChoice) int64 {
+	var contributed int64
+	for _, prop := range e.cfg.System.Properties() {
+		err := prop.Check(run)
+		if err == nil {
+			continue
+		}
+		key := fmt.Sprintf("%s|%s|%s", patternLabel(pattern), oracle.Name, prop.Name())
+		e.mu.Lock()
+		dup := e.seen[key]
+		if !dup {
+			e.seen[key] = true
+		}
+		e.mu.Unlock()
+		if dup {
+			continue
+		}
+		e.violations.Add(1)
+		contributed++
+
+		shrunk, shrunkMsg := shrink(e.cfg, run, prop)
+		v := &Violation{
+			Property:    prop.Name(),
+			Message:     shrunkMsg,
+			Pattern:     patternLabel(pattern),
+			Oracle:      oracle.Name,
+			Steps:       run.Report.Steps,
+			ShrunkSteps: len(shrunk),
+			Artifact:    newArtifact(e.cfg, run, prop.Name(), shrunkMsg, shrunk),
+		}
+		e.mu.Lock()
+		e.found = append(e.found, v)
+		e.mu.Unlock()
+	}
+	return contributed
+}

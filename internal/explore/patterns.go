@@ -1,0 +1,101 @@
+package explore
+
+import (
+	"fmt"
+	"strings"
+
+	"weakestfd/internal/sim"
+)
+
+// patternLabel renders a pattern unambiguously, including crash times —
+// sim.Pattern.String() shows only the faulty set, which would conflate the
+// grid points the sweep deliberately distinguishes (e.g. crash at 0 vs 3).
+// Used for scenario names, violation reports and the dedup key.
+func patternLabel(p sim.Pattern) string {
+	faulty := p.Faulty()
+	if faulty.IsEmpty() {
+		return fmt.Sprintf("failure-free(n=%d)", p.N())
+	}
+	var b strings.Builder
+	b.WriteString("crash{")
+	for i, pid := range faulty.Members() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%v@%d", pid, p.CrashAt(pid))
+	}
+	fmt.Fprintf(&b, "}(n=%d)", p.N())
+	return b.String()
+}
+
+// patternsFor enumerates the failure patterns of E_f over n processes with
+// crash times drawn from the grid. With sym set, crash sets are enumerated
+// up to process renaming: one canonical set per cardinality (the highest
+// PIDs) with non-decreasing time assignments. That reduction is a *speed
+// heuristic*, not a sound quotient, for the built-in systems: renaming
+// processes would also have to permute their proposals, but the sweep fixes
+// proposal 100+i to process i and the protocols' adopt/commit rules branch
+// on value order, so a run under a renamed pattern is not isomorphic to the
+// original. Exhaustiveness claims (DefaultSweep, CI) therefore use
+// sym=false; sym=true is for quick scans.
+func patternsFor(n, maxF int, grid []sim.Time, sym bool) []sim.Pattern {
+	if maxF > n-1 {
+		maxF = n - 1 // at least one process stays correct
+	}
+	if len(grid) == 0 {
+		grid = []sim.Time{0}
+	}
+	var out []sim.Pattern
+	emit := func(faulty []sim.PID, times []sim.Time) {
+		crashes := make(map[sim.PID]sim.Time, len(faulty))
+		for i, p := range faulty {
+			crashes[p] = times[i]
+		}
+		out = append(out, sim.CrashPattern(n, crashes))
+	}
+	// assign enumerates time tuples for one faulty set: all tuples in the
+	// asymmetric case, non-decreasing tuples (canonical under renaming) in
+	// the symmetric one.
+	var assign func(faulty []sim.PID, times []sim.Time, minIdx int)
+	assign = func(faulty []sim.PID, times []sim.Time, minIdx int) {
+		if len(times) == len(faulty) {
+			emit(faulty, times)
+			return
+		}
+		start := 0
+		if sym {
+			start = minIdx
+		}
+		for gi := start; gi < len(grid); gi++ {
+			assign(faulty, append(times, grid[gi]), gi)
+		}
+	}
+	if sym {
+		for size := 0; size <= maxF; size++ {
+			faulty := make([]sim.PID, 0, size)
+			for i := n - size; i < n; i++ {
+				faulty = append(faulty, sim.PID(i))
+			}
+			if size == 0 {
+				emit(nil, nil)
+				continue
+			}
+			assign(faulty, make([]sim.Time, 0, size), 0)
+		}
+		return out
+	}
+	// Asymmetric: every subset of size ≤ maxF.
+	full := sim.FullSet(n)
+	for bits := sim.Set(0); bits <= full; bits++ {
+		if bits.Len() > maxF {
+			continue
+		}
+		faulty := bits.Members()
+		if len(faulty) == 0 {
+			emit(nil, nil)
+			continue
+		}
+		assign(faulty, make([]sim.Time, 0, len(faulty)), 0)
+	}
+	return out
+}

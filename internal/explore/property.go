@@ -1,0 +1,142 @@
+package explore
+
+import (
+	"fmt"
+
+	"weakestfd/internal/core"
+	"weakestfd/internal/sim"
+)
+
+// Run is one completed simulation, in the shape properties are checked
+// against. The explorer produces one per explored schedule; replay produces
+// one per artifact re-execution.
+type Run struct {
+	// System is the registry name of the system under test.
+	System string
+	// Pattern is the failure pattern of the run.
+	Pattern sim.Pattern
+	// Oracle identifies the failure detector history driving the run.
+	Oracle OracleChoice
+	// Proposals are the input values (nil for extraction systems).
+	Proposals []sim.Value
+	// K is the agreement bound the system guarantees (0 when not applicable).
+	K int
+	// Report is the simulation outcome.
+	Report *sim.Report
+	// Err is the run error; for terminating protocols a non-nil Err is the
+	// observable face of non-termination within the budget.
+	Err error
+	// Schedule is the granted PID sequence of the run, for artifacts.
+	Schedule []sim.PID
+
+	// Outputs holds the final emulated detector outputs of extraction
+	// systems (nil otherwise); OutputsSettled reports that the outputs of
+	// the correct processes agreed and had been constant long enough
+	// (relative to the run length) to treat the run's horizon as "eventually".
+	Outputs        []sim.Set
+	OutputsSettled bool
+	// StableOutput is the settled common output (valid iff OutputsSettled).
+	StableOutput sim.Set
+}
+
+// Property is one checkable claim about a completed run — properties as
+// data, so a system declares what must hold and the explorer quantifies it
+// over the schedule space. Check returns nil when the run satisfies the
+// property and a descriptive error when it violates it. A property must be
+// decidable on a single bounded run: eventual properties are checked
+// against the run's horizon and must return nil (not an error) when the run
+// is inconclusive.
+type Property interface {
+	Name() string
+	Check(r *Run) error
+}
+
+// Validity: every decided value was proposed.
+type Validity struct{}
+
+// Name implements Property.
+func (Validity) Name() string { return "validity" }
+
+// Check implements Property.
+func (Validity) Check(r *Run) error {
+	if r.Report == nil {
+		return nil
+	}
+	proposed := make(map[sim.Value]bool, len(r.Proposals))
+	for _, v := range r.Proposals {
+		proposed[v] = true
+	}
+	for p, v := range r.Report.Decided {
+		if !proposed[v] {
+			return fmt.Errorf("%v decided unproposed value %d", p, v)
+		}
+	}
+	return nil
+}
+
+// TerminationOfCorrect: every correct process decided within the budget.
+// The schedules the explorer closes runs with are fair, so a budget
+// exhaustion under an adequate budget is a genuine liveness failure, not a
+// starved run.
+type TerminationOfCorrect struct{}
+
+// Name implements Property.
+func (TerminationOfCorrect) Name() string { return "termination-of-correct" }
+
+// Check implements Property.
+func (TerminationOfCorrect) Check(r *Run) error {
+	if r.Report == nil {
+		return nil
+	}
+	for s := r.Pattern.Correct(); s != 0; s &= s - 1 {
+		p := s.Min()
+		if _, ok := r.Report.Decided[p]; !ok {
+			return fmt.Errorf("correct %v did not decide within %d steps", p, r.Report.Steps)
+		}
+	}
+	return nil
+}
+
+// AtMostK: at most K distinct values were decided — the Agreement property
+// of k-set agreement.
+type AtMostK struct{}
+
+// Name implements Property.
+func (AtMostK) Name() string { return "agreement" }
+
+// Check implements Property.
+func (AtMostK) Check(r *Run) error {
+	if r.Report == nil || r.K <= 0 {
+		return nil
+	}
+	var scratch [sim.MaxProcs]sim.Value
+	decided := r.Report.DecidedValuesAppend(scratch[:0])
+	if len(decided) > r.K {
+		return fmt.Errorf("%d distinct decisions %v exceed k=%d", len(decided), decided, r.K)
+	}
+	return nil
+}
+
+// UpsilonSanity: the extraction's settled output is a legal Υ^f value for
+// the run's failure pattern — in particular it is not the correct set.
+// Inconclusive runs (outputs still moving at the horizon) pass vacuously;
+// the explorer reports how many runs settled so a sweep that never settles
+// is visible.
+type UpsilonSanity struct {
+	// Spec is the Υ^f specification the output must satisfy.
+	Spec core.UpsilonSpec
+}
+
+// Name implements Property.
+func (UpsilonSanity) Name() string { return "upsilon-sanity" }
+
+// Check implements Property.
+func (u UpsilonSanity) Check(r *Run) error {
+	if !r.OutputsSettled {
+		return nil
+	}
+	if err := u.Spec.LegalStable(r.Pattern, r.StableOutput); err != nil {
+		return fmt.Errorf("settled output %v illegal: %v", r.StableOutput, err)
+	}
+	return nil
+}

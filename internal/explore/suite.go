@@ -1,0 +1,21 @@
+package explore
+
+// DefaultSweep returns the standard exhaustive sweep over the real
+// protocols at n ≤ 3: the configuration CI's explore-smoke job (and
+// `paperbench -explore`) must complete with zero violations. Bounds are
+// tuned so the whole suite finishes well under the CI limit on one core
+// while covering every ≤3-block schedule of *every* E_f crash pattern
+// (crash times {0, 3}; no symmetry shortcut — see patternsFor) under every
+// legal stable detector value.
+func DefaultSweep() []Config {
+	return []Config{
+		{System: Fig1System(2), MaxBlocks: 3, MaxBlock: 24, Budget: 2048},
+		{System: Fig1System(3), MaxBlocks: 3, MaxBlock: 24, Budget: 2048},
+		{System: Fig2System(3, 1), MaxBlocks: 3, MaxBlock: 24, Budget: 2048},
+		{System: Fig2System(3, 2), MaxBlocks: 3, MaxBlock: 24, Budget: 2048},
+		// The extraction never terminates, so every run costs the full
+		// budget; two blocks keep the sweep quick while still covering every
+		// single-preemption neighbourhood.
+		{System: ExtractOmegaSystem(3), MaxBlocks: 2, MaxBlock: 24, Budget: 768},
+	}
+}

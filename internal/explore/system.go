@@ -1,0 +1,254 @@
+package explore
+
+import (
+	"fmt"
+
+	"weakestfd/internal/check"
+	"weakestfd/internal/converge"
+	"weakestfd/internal/core"
+	"weakestfd/internal/fd"
+	"weakestfd/internal/sim"
+)
+
+// OracleChoice identifies one failure detector history of a system's
+// enumerated family: a stable value (a Υ/Υ^f set, or a singleton {leader}
+// for Ω sources), stable from time 0. Seed feeds any remaining seeded
+// choices a system makes.
+type OracleChoice struct {
+	// Name is the display form, e.g. "U={p1,p3}".
+	Name string
+	// Stable is the history's stable output as a process set.
+	Stable sim.Set
+	// Seed drives auxiliary seeded choices.
+	Seed int64
+}
+
+// Instance is one run's freshly built shared state: the per-process
+// machines plus the hooks the explorer wires into the simulation.
+type Instance struct {
+	// Machines are the per-process automata (one per PID).
+	Machines []sim.StepMachine
+	// Proposals are the input values (nil for extraction systems).
+	Proposals []sim.Value
+	// K is the agreement bound (0 when not applicable).
+	K int
+	// Observe, when non-nil, is called after every settled step (wired into
+	// sim.Config.StopWhen); extraction systems use it to trace outputs.
+	Observe func(t sim.Time)
+	// Finish, when non-nil, runs after the simulation and may fill
+	// system-specific Run fields (e.g. Outputs/OutputsSettled).
+	Finish func(r *Run)
+}
+
+// System is one protocol (or reduction) under exploration. Instantiate must
+// build completely fresh shared state on every call: the explorer replays
+// thousands of runs and two runs may never share memory.
+type System interface {
+	// Name is the registry name ("fig1", "fig2", …).
+	Name() string
+	// N is the number of processes.
+	N() int
+	// MaxFaults is the resilience f of the system's environment E_f.
+	MaxFaults() int
+	// Oracles enumerates the detector histories to explore for one pattern.
+	Oracles(pattern sim.Pattern) []OracleChoice
+	// Instantiate builds one run's machines and hooks.
+	Instantiate(pattern sim.Pattern, o OracleChoice) Instance
+	// Properties are the claims checked on every completed run.
+	Properties() []Property
+}
+
+// NewSystem builds a registered system by name — the registry `fdlab
+// explore -system` and artifact replay resolve against. f is the resilience
+// where the system has one (fig2); others ignore it.
+func NewSystem(name string, n, f int) (System, error) {
+	switch name {
+	case "fig1":
+		return Fig1System(n), nil
+	case "fig1-broken-adopt":
+		return BrokenFig1System(n), nil
+	case "fig2":
+		return Fig2System(n, f), nil
+	case "extract-omega":
+		return ExtractOmegaSystem(n), nil
+	default:
+		return nil, fmt.Errorf("explore: unknown system %q (want fig1|fig1-broken-adopt|fig2|extract-omega)", name)
+	}
+}
+
+// SystemNames lists the registry, for CLI help.
+func SystemNames() []string {
+	return []string{"fig1", "fig1-broken-adopt", "fig2", "extract-omega"}
+}
+
+// canonicalProposals returns the explorer's fixed inputs 100..100+n−1:
+// distinct values, so agreement violations cannot hide behind colliding
+// proposals.
+func canonicalProposals(n int) []sim.Value {
+	out := make([]sim.Value, n)
+	for i := range out {
+		out[i] = sim.Value(100 + i)
+	}
+	return out
+}
+
+// legalStableSets enumerates every legal Υ^f stable set for the pattern, in
+// deterministic order: all subsets of Π of size ≥ n+1−f except correct(F).
+func legalStableSets(spec core.UpsilonSpec, pattern sim.Pattern) []OracleChoice {
+	var out []OracleChoice
+	full := sim.FullSet(spec.N)
+	for bits := sim.Set(1); bits <= full; bits++ {
+		if spec.LegalStable(pattern, bits) != nil {
+			continue
+		}
+		out = append(out, OracleChoice{Name: "U=" + bits.String(), Stable: bits})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1 (and its mutation-testing variant)
+
+type fig1System struct {
+	n   int
+	mut core.Fig1Mutation
+}
+
+// Fig1System explores the paper's Figure 1: Υ-based n−1-set agreement among
+// n processes, wait-free.
+func Fig1System(n int) System { return fig1System{n: n} }
+
+// BrokenFig1System is Figure 1 with the converge adopt rule broken
+// (core.MutWrongAdopt) — the intentionally wrong variant the mutation tests
+// use to prove the explorer catches what seeded-random testing misses.
+func BrokenFig1System(n int) System { return fig1System{n: n, mut: core.MutWrongAdopt} }
+
+func (s fig1System) Name() string {
+	if s.mut != core.MutNone {
+		return "fig1-broken-adopt"
+	}
+	return "fig1"
+}
+
+func (s fig1System) N() int         { return s.n }
+func (s fig1System) MaxFaults() int { return s.n - 1 }
+
+func (s fig1System) Oracles(pattern sim.Pattern) []OracleChoice {
+	return legalStableSets(core.Upsilon(s.n), pattern)
+}
+
+func (s fig1System) Instantiate(pattern sim.Pattern, o OracleChoice) Instance {
+	h := core.Upsilon(s.n).HistoryWithStable(pattern, 0, o.Seed, o.Stable)
+	g := core.NewFig1(s.n, h, converge.UseAtomic)
+	proposals := canonicalProposals(s.n)
+	machines := make([]sim.StepMachine, s.n)
+	for i := range machines {
+		machines[i] = g.MutantMachine(proposals[i], s.mut)
+	}
+	return Instance{Machines: machines, Proposals: proposals, K: g.K()}
+}
+
+func (s fig1System) Properties() []Property {
+	return []Property{AtMostK{}, Validity{}, TerminationOfCorrect{}}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2
+
+type fig2System struct {
+	n, f int
+}
+
+// Fig2System explores the paper's Figure 2: Υ^f-based f-set agreement among
+// n processes in E_f.
+func Fig2System(n, f int) System { return fig2System{n: n, f: f} }
+
+func (s fig2System) Name() string   { return "fig2" }
+func (s fig2System) N() int         { return s.n }
+func (s fig2System) MaxFaults() int { return s.f }
+
+func (s fig2System) Oracles(pattern sim.Pattern) []OracleChoice {
+	return legalStableSets(core.UpsilonF(s.n, s.f), pattern)
+}
+
+func (s fig2System) Instantiate(pattern sim.Pattern, o OracleChoice) Instance {
+	h := core.UpsilonF(s.n, s.f).HistoryWithStable(pattern, 0, o.Seed, o.Stable)
+	g := core.NewFig2(s.n, s.f, h, converge.UseAtomic)
+	proposals := canonicalProposals(s.n)
+	machines := make([]sim.StepMachine, s.n)
+	for i := range machines {
+		machines[i] = g.Machine(proposals[i])
+	}
+	return Instance{Machines: machines, Proposals: proposals, K: g.K()}
+}
+
+func (s fig2System) Properties() []Property {
+	return []Property{AtMostK{}, Validity{}, TerminationOfCorrect{}}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3 extraction from Ω
+
+type extractSystem struct {
+	n int
+}
+
+// ExtractOmegaSystem explores the Figure 3 reduction extracting Υ from a
+// stable Ω source: the checked property is Υ-output sanity — whenever the
+// emulated outputs settle within the run, the settled set must be a legal Υ
+// value for the pattern (in particular, not the correct set).
+func ExtractOmegaSystem(n int) System { return extractSystem{n: n} }
+
+func (s extractSystem) Name() string   { return "extract-omega" }
+func (s extractSystem) N() int         { return s.n }
+func (s extractSystem) MaxFaults() int { return s.n - 1 }
+
+// Oracles enumerates every correct leader as the Ω source's stable output,
+// in PID order (Members iterates ascending).
+func (s extractSystem) Oracles(pattern sim.Pattern) []OracleChoice {
+	var out []OracleChoice
+	for _, leader := range pattern.Correct().Members() {
+		out = append(out, OracleChoice{
+			Name:   fmt.Sprintf("leader=%v", leader),
+			Stable: sim.SetOf(leader),
+		})
+	}
+	return out
+}
+
+func (s extractSystem) Instantiate(pattern sim.Pattern, o OracleChoice) Instance {
+	oracle := &fd.Stabilizing[sim.PID]{Stable: o.Stable.Min()}
+	ex := core.NewExtraction(s.n, oracle, core.PhiOmega(s.n))
+	machines := make([]sim.StepMachine, s.n)
+	for i := range machines {
+		machines[i] = ex.Machine()
+	}
+	trace := check.NewOutputTrace[sim.Set](s.n, ex.Output)
+	correct := pattern.Correct()
+	return Instance{
+		Machines: machines,
+		Observe:  trace.Observe,
+		Finish: func(r *Run) {
+			r.Outputs = append([]sim.Set(nil), trace.Final()...)
+			stable, from, err := trace.StableFrom(correct)
+			if err != nil {
+				return // outputs still disagree at the horizon: inconclusive
+			}
+			// Settled means the common output survived unchanged for a
+			// meaningful fraction of the run — the bounded-run reading of
+			// "eventually permanently output".
+			window := r.Report.Steps / 4
+			if window < 64 {
+				window = 64
+			}
+			if int64(trace.Horizon()-from) >= window {
+				r.OutputsSettled = true
+				r.StableOutput = stable
+			}
+		},
+	}
+}
+
+func (s extractSystem) Properties() []Property {
+	return []Property{UpsilonSanity{Spec: core.Upsilon(s.n)}}
+}

@@ -114,8 +114,14 @@ func summarize(s Scenario, outs []runOutcome) ScenarioSummary {
 	return sum
 }
 
-// newSummary computes the distribution of a sample set.
+// newSummary computes the distribution of a sample set. The zero-sample
+// summary is all zeros: summarize never produces one today (metrics maps
+// only hold reported samples), but the guard keeps a future caller from
+// panicking on sorted[0] or dividing by zero into NaN means.
 func newSummary(vs []float64) Summary {
+	if len(vs) == 0 {
+		return Summary{}
+	}
 	sorted := append([]float64(nil), vs...)
 	sort.Float64s(sorted)
 	total := 0.0
@@ -132,7 +138,10 @@ func newSummary(vs []float64) Summary {
 	}
 }
 
-// percentile returns the nearest-rank p-th percentile of a sorted sample.
+// percentile returns the nearest-rank p-th percentile of a sorted sample:
+// sorted[⌈p/100·n⌉−1], with the rank clamped into [1, n] so that tiny
+// samples (P99 of one or two runs) and out-of-range p values index the
+// extremes instead of past the slice. The empty sample returns 0.
 func percentile(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
 		return 0

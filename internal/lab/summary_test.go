@@ -1,0 +1,67 @@
+package lab
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPercentile pins the nearest-rank definition at the sample sizes that
+// have bitten percentile implementations before: empty, one, two and a
+// round hundred.
+func TestPercentile(t *testing.T) {
+	seq := func(n int) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = float64(i + 1)
+		}
+		return out
+	}
+	tests := []struct {
+		name   string
+		sorted []float64
+		p      float64
+		want   float64
+	}{
+		{"n=0 p50", nil, 50, 0},
+		{"n=0 p99", []float64{}, 99, 0},
+		{"n=1 p50", seq(1), 50, 1},
+		{"n=1 p99", seq(1), 99, 1},
+		{"n=1 p0", seq(1), 0, 1},
+		{"n=2 p50", seq(2), 50, 1},
+		{"n=2 p99", seq(2), 99, 2},
+		{"n=2 p100", seq(2), 100, 2},
+		{"n=100 p50", seq(100), 50, 50},
+		{"n=100 p99", seq(100), 99, 99},
+		{"n=100 p100", seq(100), 100, 100},
+		// Out-of-range p values clamp to the extremes rather than indexing
+		// past the slice.
+		{"n=2 p150", seq(2), 150, 2},
+		{"n=2 p-10", seq(2), -10, 1},
+	}
+	for _, tc := range tests {
+		if got := percentile(tc.sorted, tc.p); got != tc.want {
+			t.Errorf("%s: percentile = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestNewSummarySmallSamples(t *testing.T) {
+	// Empty: all-zero summary, no panic, no NaN.
+	s := newSummary(nil)
+	if s.N != 0 || s.Mean != 0 || s.P50 != 0 || s.P99 != 0 || s.Min != 0 || s.Max != 0 {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+	if math.IsNaN(s.Mean) {
+		t.Fatal("empty summary has NaN mean")
+	}
+	// One sample: every statistic is that sample.
+	s = newSummary([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.P50 != 7 || s.P99 != 7 || s.Min != 7 || s.Max != 7 {
+		t.Fatalf("singleton summary wrong: %+v", s)
+	}
+	// Two samples, unsorted input: P99 is the max, P50 the lower half.
+	s = newSummary([]float64{9, 3})
+	if s.N != 2 || s.Mean != 6 || s.P50 != 3 || s.P99 != 9 || s.Min != 3 || s.Max != 9 {
+		t.Fatalf("two-sample summary wrong: %+v", s)
+	}
+}

@@ -1,0 +1,47 @@
+package sim
+
+import "testing"
+
+func TestFixedScheduleReplaysPrefix(t *testing.T) {
+	prefix := []PID{2, 0, 2, 1}
+	s := NewFixedSchedule(prefix)
+	var grants []PID
+	s.OnGrant = func(idx int, _ Time, _ Set, chosen PID) {
+		if idx != len(grants) {
+			t.Fatalf("OnGrant idx %d, want %d", idx, len(grants))
+		}
+		grants = append(grants, chosen)
+	}
+	enabled := SetOf(0, 1, 2)
+	for i := 0; i < len(prefix); i++ {
+		if got := s.Next(Time(i+1), enabled); got != prefix[i] {
+			t.Fatalf("step %d: got %v, want %v", i, got, prefix[i])
+		}
+	}
+	if s.Diverged() {
+		t.Fatal("fully-enabled prefix reported divergence")
+	}
+	// Past the prefix: round-robin fallback (fresh, starts at p1).
+	if got := s.Next(5, enabled); got != 0 {
+		t.Fatalf("fallback step: got %v, want p1 (fresh round-robin)", got)
+	}
+	if s.Granted() != 5 {
+		t.Fatalf("granted %d, want 5", s.Granted())
+	}
+}
+
+func TestFixedScheduleDivergesOnDisabledEntry(t *testing.T) {
+	s := NewFixedSchedule([]PID{1, 0})
+	// p2 is not enabled: the schedule must fall through, not fault.
+	got := s.Next(1, SetOf(0, 2))
+	if got == 1 {
+		t.Fatal("granted a disabled process")
+	}
+	if !s.Diverged() {
+		t.Fatal("skipped prefix entry not reported as divergence")
+	}
+	// The next prefix entry still applies.
+	if got := s.Next(2, SetOf(0, 2)); got != 0 {
+		t.Fatalf("second step: got %v, want p1", got)
+	}
+}

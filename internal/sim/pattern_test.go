@@ -1,0 +1,105 @@
+package sim
+
+import "testing"
+
+// stepCounter is a minimal StepMachine that decides after k steps, for
+// machine-runner pattern tests.
+type stepCounter struct {
+	k    int
+	id   PID
+	seen int
+}
+
+func (m *stepCounter) Init(ctx MachineContext) { m.id = ctx.ID }
+func (m *stepCounter) Decision() Value         { return Value(m.id) }
+func (m *stepCounter) Step(Time) MachineStatus {
+	m.seen++
+	if m.seen >= m.k {
+		return MachineDecided
+	}
+	return MachineRunning
+}
+
+// TestPatternCrashAtZeroNeverSteps: a crash time of 0 means the process is
+// in F(t) for every step time t ≥ 1, so it must be granted no step at all —
+// on both engines.
+func TestPatternCrashAtZeroNeverSteps(t *testing.T) {
+	pattern := CrashPattern(3, map[PID]Time{1: 0})
+	if pattern.CrashedBy(1, 0) != true {
+		t.Fatal("crash time 0: process not crashed by t=0")
+	}
+	if pattern.Correct() != SetOf(0, 2) || pattern.Faulty() != SetOf(1) {
+		t.Fatalf("Correct/Faulty inconsistent: %v / %v", pattern.Correct(), pattern.Faulty())
+	}
+	rep, err := RunMachines(Config{Pattern: pattern, Schedule: RoundRobin()},
+		[]StepMachine{&stepCounter{k: 3}, &stepCounter{k: 3}, &stepCounter{k: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StepsBy[1] != 0 {
+		t.Errorf("machine runner: crash-at-0 process took %d steps", rep.StepsBy[1])
+	}
+	if !rep.Crashed.Has(1) {
+		t.Error("crash-at-0 process not reported crashed")
+	}
+	if _, ok := rep.Decided[1]; ok {
+		t.Error("crash-at-0 process decided")
+	}
+}
+
+// TestPatternAllButOneCrashed: the extreme admissible pattern — n−1 crashes
+// — leaves exactly one correct process, which must still finish solo.
+func TestPatternAllButOneCrashed(t *testing.T) {
+	const n = 4
+	crashes := map[PID]Time{0: 0, 1: 2, 2: 0}
+	pattern := CrashPattern(n, crashes)
+	if pattern.Correct() != SetOf(3) {
+		t.Fatalf("Correct = %v, want {p4}", pattern.Correct())
+	}
+	if pattern.Faulty() != SetOf(0, 1, 2) || pattern.NumFaulty() != n-1 {
+		t.Fatalf("Faulty = %v (%d), want {p1,p2,p3}", pattern.Faulty(), pattern.NumFaulty())
+	}
+	// Correct and Faulty partition Π.
+	if pattern.Correct().Union(pattern.Faulty()) != FullSet(n) ||
+		!pattern.Correct().Intersect(pattern.Faulty()).IsEmpty() {
+		t.Fatal("Correct/Faulty do not partition the process set")
+	}
+	machines := make([]StepMachine, n)
+	for i := range machines {
+		machines[i] = &stepCounter{k: 5}
+	}
+	rep, err := RunMachines(Config{Pattern: pattern, Schedule: RoundRobin()}, machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rep.Decided[3]; !ok {
+		t.Error("sole correct process did not decide")
+	}
+	if rep.Crashed != SetOf(0, 1, 2) {
+		t.Errorf("Crashed = %v, want {p1,p2,p3}", rep.Crashed)
+	}
+}
+
+// TestPatternEnvironmentBoundary: E_f membership at the f = n−1 boundary,
+// where every admissible pattern lives.
+func TestPatternEnvironmentBoundary(t *testing.T) {
+	const n = 4
+	allButOne := CrashPattern(n, map[PID]Time{0: 0, 1: 0, 2: 0})
+	if !allButOne.InEnvironment(n - 1) {
+		t.Error("n-1 crashes rejected from E_{n-1}")
+	}
+	if allButOne.InEnvironment(n - 2) {
+		t.Error("n-1 crashes admitted to E_{n-2}")
+	}
+	if !FailFree(n).InEnvironment(0) {
+		t.Error("fail-free pattern rejected from E_0")
+	}
+	// Crash times are irrelevant to E_f membership: only the crash count is.
+	late := CrashPattern(n, map[PID]Time{0: 1 << 40, 1: 1, 2: 7})
+	if !late.InEnvironment(n-1) || late.InEnvironment(n-2) {
+		t.Error("E_f membership depends on crash times")
+	}
+	if late.Faulty() != allButOne.Faulty() {
+		t.Error("Faulty differs between early- and late-crash variants")
+	}
+}
