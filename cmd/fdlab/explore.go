@@ -15,14 +15,21 @@ import (
 
 // runExplore is the `fdlab explore` subcommand: a bounded-exhaustive sweep
 // of one system, emitting replayable artifacts for every violation.
+//
+// Exit status: 0 clean, 1 on property violations, 3 when the sweep was
+// truncated by -max-runs (the exhaustiveness claim is void, but nothing
+// failed).
 func runExplore(args []string) {
 	fs := flag.NewFlagSet("explore", flag.ExitOnError)
 	var (
 		system     = fs.String("system", "fig1", "system under exploration: "+strings.Join(explore.SystemNames(), "|"))
 		n          = fs.Int("n", 3, "number of processes (2..4)")
 		f          = fs.Int("f", 0, "resilience for fig2 (default n-1)")
-		blocks     = fs.Int("blocks", 3, "max adversarial blocks per schedule (context-switch bound)")
-		blockLen   = fs.Int("block", 24, "max steps per adversarial block")
+		dpor       = fs.Bool("dpor", true, "use dynamic partial-order reduction (default); false selects the legacy block enumerator")
+		maxDepth   = fs.Int("max-depth", 0, "DPOR branch-depth horizon (0 = full depth, i.e. the step budget; intractable for most systems beyond n=2)")
+		maxRuns    = fs.Int64("max-runs", 0, "cap runs per configuration, 0 = unlimited (DPOR; hitting it voids exhaustiveness and exits 3)")
+		blocks     = fs.Int("blocks", 3, "legacy engine: max adversarial blocks per schedule (context-switch bound)")
+		blockLen   = fs.Int("block", 24, "legacy engine: max steps per adversarial block")
 		budget     = fs.Int64("budget", 4096, "step budget per run")
 		crashTimes = fs.String("crash-times", "0,3", "crash-time grid, comma-separated")
 		sym        = fs.Bool("sym", false, "collapse crash sets up to process renaming (quick-scan heuristic, not a sound reduction)")
@@ -37,6 +44,9 @@ func runExplore(args []string) {
 	}
 	if *blocks <= 0 || *blockLen <= 0 || *budget <= 0 {
 		log.Fatalf("-blocks, -block and -budget must be positive (got %d, %d, %d)", *blocks, *blockLen, *budget)
+	}
+	if *maxDepth < 0 || *maxRuns < 0 {
+		log.Fatalf("-max-depth and -max-runs must be non-negative (got %d, %d)", *maxDepth, *maxRuns)
 	}
 	if *maxViol <= 0 {
 		log.Fatalf("-max-violations must be >= 1, got %d", *maxViol)
@@ -60,11 +70,18 @@ func runExplore(args []string) {
 	for i, t := range grid {
 		times[i] = sim.Time(t)
 	}
+	engine := explore.EngineDPOR
+	if !*dpor {
+		engine = explore.EngineEnum
+	}
 
 	res := explore.Explore(explore.Config{
 		System:        sys,
+		Engine:        engine,
 		MaxBlocks:     *blocks,
 		MaxBlock:      *blockLen,
+		MaxDepth:      *maxDepth,
+		MaxRuns:       *maxRuns,
 		Budget:        *budget,
 		MaxFaults:     ff, // restricts the explored environment to E_f
 		CrashTimes:    times,
@@ -72,8 +89,8 @@ func runExplore(args []string) {
 		Workers:       *workers,
 		MaxViolations: *maxViol,
 	})
-	fmt.Printf("explored %s (n=%d, f=%d): %d configurations, %d runs, longest run %d steps",
-		res.System, *n, ff, res.Configs, res.Runs, res.MaxSteps)
+	fmt.Printf("explored %s (n=%d, f=%d, engine=%s): %d configurations, %d schedules executed, %d pruned as redundant, longest run %d steps",
+		res.System, *n, ff, res.Engine, res.Configs, res.Runs, res.Pruned, res.MaxSteps)
 	if res.SettledRuns > 0 {
 		fmt.Printf(", %d settled", res.SettledRuns)
 	}
@@ -82,6 +99,10 @@ func runExplore(args []string) {
 		log.Fatal("empty sweep: no configurations were explored (check -n/-f/-crash-times)")
 	}
 	if len(res.Violations) == 0 {
+		if res.Truncated {
+			fmt.Println("no property violations, but the sweep was TRUNCATED by -max-runs: coverage is incomplete")
+			os.Exit(3)
+		}
 		fmt.Println("no property violations")
 		return
 	}
@@ -99,11 +120,14 @@ func runExplore(args []string) {
 // runReplay is the `fdlab replay` subcommand: it re-executes a
 // counterexample artifact deterministically and reports whether the
 // recorded violation reproduced.
+//
+// Exit status: 0 when the violation reproduced, 1 when it did not (or the
+// artifact could not be loaded/replayed) — scripts and CI can gate on it.
 func runReplay(args []string) {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	var (
 		in    = fs.String("in", "", "counterexample artifact (from fdlab explore)")
-		trace = fs.Bool("trace", false, "print every replayed step")
+		trace = fs.Bool("trace", false, "print every replayed step with its shared-object access set")
 	)
 	_ = fs.Parse(args)
 	if *in == "" {
@@ -117,15 +141,36 @@ func runReplay(args []string) {
 		*in, a.System, a.N, a.F, a.OracleName, len(a.Schedule), a.Budget)
 	fmt.Printf("recorded violation (%s): %s\n", a.Property, a.Violation)
 
+	// Grants are buffered and printed after the run: a step's access set is
+	// recorded by the step itself, which executes after the scheduling hook
+	// fires.
+	type grant struct {
+		idx     int
+		t       sim.Time
+		enabled sim.Set
+		chosen  sim.PID
+	}
+	var grants []grant
 	var hook func(idx int, t sim.Time, enabled sim.Set, chosen sim.PID)
 	if *trace {
 		hook = func(idx int, t sim.Time, enabled sim.Set, chosen sim.PID) {
-			fmt.Printf("  step %4d t=%-4d enabled=%-18v -> %v\n", idx, int64(t), enabled, chosen)
+			grants = append(grants, grant{idx: idx, t: t, enabled: enabled, chosen: chosen})
 		}
 	}
 	run, violation, err := a.Replay(hook)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *trace {
+		accesses := run.Report.Accesses
+		for _, g := range grants {
+			line := fmt.Sprintf("  step %4d t=%-4d enabled=%-18v -> %v", g.idx, int64(g.t), g.enabled, g.chosen)
+			if accesses != nil && g.idx < accesses.Steps() {
+				_, accs := accesses.Step(g.idx)
+				line += "  " + accesses.AccessString(accs)
+			}
+			fmt.Println(line)
+		}
 	}
 	fmt.Printf("run: %d steps, decided %d, crashed %v\n",
 		run.Report.Steps, len(run.Report.Decided), run.Report.Crashed)

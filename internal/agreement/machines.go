@@ -30,6 +30,7 @@ type omegaConsensusMachine struct {
 	v        sim.Value
 	r        int
 	conv     converge.Machine
+	log      *sim.AccessLog
 	pc       uint8
 	decision sim.Value
 }
@@ -42,7 +43,8 @@ func (c *OmegaConsensus) Machine(input sim.Value) sim.StepMachine {
 
 func (m *omegaConsensusMachine) Init(ctx sim.MachineContext) {
 	m.me = ctx.ID
-	m.conv.Bind(ctx.ID)
+	m.log = ctx.Log
+	m.conv.Bind(ctx.ID, ctx.Log)
 	m.r = 1
 	m.pc = ocReadD
 }
@@ -53,7 +55,7 @@ func (m *omegaConsensusMachine) Step(t sim.Time) sim.MachineStatus {
 	c := m.c
 	switch m.pc {
 	case ocReadD:
-		if d := c.d.DirectRead(); d.OK {
+		if d := c.d.DirectRead(m.log); d.OK {
 			m.decision = d.V
 			return sim.MachineDecided
 		}
@@ -65,7 +67,7 @@ func (m *omegaConsensusMachine) Step(t sim.Time) sim.MachineStatus {
 			m.pc = ocLastRead
 		}
 	case ocLastRead:
-		if w := c.last.at(m.r).DirectRead(); w.OK {
+		if w := c.last.at(m.r).DirectRead(m.log); w.OK {
 			m.v = w.V
 			m.r++
 			m.pc = ocReadD
@@ -79,7 +81,7 @@ func (m *omegaConsensusMachine) Step(t sim.Time) sim.MachineStatus {
 			m.pc = ocLastWrite
 		}
 	case ocLastWrite:
-		c.last.at(m.r).DirectWrite(memory.Some(m.v))
+		c.last.at(m.r).DirectWrite(m.log, memory.Some(m.v))
 		if m.conv.Committed {
 			m.pc = ocWriteD
 		} else {
@@ -87,7 +89,7 @@ func (m *omegaConsensusMachine) Step(t sim.Time) sim.MachineStatus {
 			m.pc = ocReadD
 		}
 	case ocWriteD:
-		c.d.DirectWrite(memory.Some(m.v))
+		c.d.DirectWrite(m.log, memory.Some(m.v))
 		m.decision = m.v
 		return sim.MachineDecided
 	}
@@ -117,6 +119,7 @@ type omegaNSetAgreementMachine struct {
 	rest     sim.Set // members of l not yet read this pass
 	adopted  bool
 	conv     converge.Machine
+	log      *sim.AccessLog
 	pc       uint8
 	decision sim.Value
 }
@@ -129,7 +132,8 @@ func (a *OmegaNSetAgreement) Machine(input sim.Value) sim.StepMachine {
 
 func (m *omegaNSetAgreementMachine) Init(ctx sim.MachineContext) {
 	m.me = ctx.ID
-	m.conv.Bind(ctx.ID)
+	m.log = ctx.Log
+	m.conv.Bind(ctx.ID, ctx.Log)
 	m.r = 1
 	m.pc = onReadD
 }
@@ -140,7 +144,7 @@ func (m *omegaNSetAgreementMachine) Step(t sim.Time) sim.MachineStatus {
 	a := m.a
 	switch m.pc {
 	case onReadD:
-		if d := a.d.DirectRead(); d.OK {
+		if d := a.d.DirectRead(m.log); d.OK {
 			m.decision = d.V
 			return sim.MachineDecided
 		}
@@ -157,7 +161,7 @@ func (m *omegaNSetAgreementMachine) Step(t sim.Time) sim.MachineStatus {
 			m.pc = onAnnRead
 		}
 	case onAnnWrite:
-		m.ann.DirectWrite(m.me, memory.Some(m.v))
+		m.ann.DirectWrite(m.log, m.me, memory.Some(m.v))
 		if m.rest = m.l; m.rest.IsEmpty() {
 			m.pc = onReadD2
 		} else {
@@ -166,7 +170,7 @@ func (m *omegaNSetAgreementMachine) Step(t sim.Time) sim.MachineStatus {
 	case onAnnRead:
 		j := m.rest.Min()
 		m.rest = m.rest.Remove(j)
-		if w := m.ann.DirectRead(j); w.OK {
+		if w := m.ann.DirectRead(m.log, j); w.OK {
 			m.v = w.V
 			m.adopted = true
 			m.pc = onReadD2
@@ -174,7 +178,7 @@ func (m *omegaNSetAgreementMachine) Step(t sim.Time) sim.MachineStatus {
 			m.pc = onReadD2
 		}
 	case onReadD2:
-		if d := a.d.DirectRead(); d.OK {
+		if d := a.d.DirectRead(m.log); d.OK {
 			m.decision = d.V
 			return sim.MachineDecided
 		}
@@ -195,7 +199,7 @@ func (m *omegaNSetAgreementMachine) Step(t sim.Time) sim.MachineStatus {
 			}
 		}
 	case onWriteD:
-		a.d.DirectWrite(memory.Some(m.v))
+		a.d.DirectWrite(m.log, memory.Some(m.v))
 		m.decision = m.v
 		return sim.MachineDecided
 	}
@@ -217,6 +221,7 @@ type asyncAttemptMachine struct {
 	v        sim.Value
 	r        int
 	conv     converge.Machine
+	log      *sim.AccessLog
 	pc       uint8
 	decision sim.Value
 }
@@ -229,7 +234,8 @@ func (a *AsyncAttempt) Machine(input sim.Value) sim.StepMachine {
 
 func (m *asyncAttemptMachine) Init(ctx sim.MachineContext) {
 	m.me = ctx.ID
-	m.conv.Bind(ctx.ID)
+	m.log = ctx.Log
+	m.conv.Bind(ctx.ID, ctx.Log)
 	m.r = 1
 	m.pc = aaReadD
 }
@@ -240,7 +246,7 @@ func (m *asyncAttemptMachine) Step(_ sim.Time) sim.MachineStatus {
 	a := m.a
 	switch m.pc {
 	case aaReadD:
-		if d := a.d.DirectRead(); d.OK {
+		if d := a.d.DirectRead(m.log); d.OK {
 			m.decision = d.V
 			return sim.MachineDecided
 		}
@@ -261,7 +267,7 @@ func (m *asyncAttemptMachine) Step(_ sim.Time) sim.MachineStatus {
 			}
 		}
 	case aaWriteD:
-		a.d.DirectWrite(memory.Some(m.v))
+		a.d.DirectWrite(m.log, memory.Some(m.v))
 		m.decision = m.v
 		return sim.MachineDecided
 	}
@@ -293,6 +299,7 @@ type boostedMachine struct {
 	rest     sim.Set
 	adopted  bool
 	conv     converge.Machine
+	log      *sim.AccessLog
 	pc       uint8
 	decision sim.Value
 }
@@ -305,7 +312,8 @@ func (b *BoostedConsensus) Machine(input sim.Value) sim.StepMachine {
 
 func (m *boostedMachine) Init(ctx sim.MachineContext) {
 	m.me = ctx.ID
-	m.conv.Bind(ctx.ID)
+	m.log = ctx.Log
+	m.conv.Bind(ctx.ID, ctx.Log)
 	m.r = 1
 	m.pc = bReadD
 }
@@ -316,7 +324,7 @@ func (m *boostedMachine) Step(t sim.Time) sim.MachineStatus {
 	b := m.b
 	switch m.pc {
 	case bReadD:
-		if d := b.d.DirectRead(); d.OK {
+		if d := b.d.DirectRead(m.log); d.OK {
 			m.decision = d.V
 			return sim.MachineDecided
 		}
@@ -334,10 +342,10 @@ func (m *boostedMachine) Step(t sim.Time) sim.MachineStatus {
 		}
 	case bPropose:
 		// Funnel through the object keyed by this exact view.
-		m.won = b.cons.At(m.r, m.l).DirectPropose(m.me, m.v)
+		m.won = b.cons.At(m.r, m.l).DirectPropose(m.log, m.me, m.v)
 		m.pc = bAnnWrite
 	case bAnnWrite:
-		m.ann.DirectWrite(m.me, memory.Some(m.won))
+		m.ann.DirectWrite(m.log, m.me, memory.Some(m.won))
 		m.v = m.won
 		// adopted via the leader path: skip the decision poll (the body
 		// breaks out of the adoption loop before it).
@@ -346,7 +354,7 @@ func (m *boostedMachine) Step(t sim.Time) sim.MachineStatus {
 	case bAnnRead:
 		j := m.rest.Min()
 		m.rest = m.rest.Remove(j)
-		if w := m.ann.DirectRead(j); w.OK {
+		if w := m.ann.DirectRead(m.log, j); w.OK {
 			m.v = w.V
 			m.adopted = true
 			m.pc = bReadD2
@@ -354,7 +362,7 @@ func (m *boostedMachine) Step(t sim.Time) sim.MachineStatus {
 			m.pc = bReadD2
 		}
 	case bReadD2:
-		if d := b.d.DirectRead(); d.OK {
+		if d := b.d.DirectRead(m.log); d.OK {
 			m.decision = d.V
 			return sim.MachineDecided
 		}
@@ -375,7 +383,7 @@ func (m *boostedMachine) Step(t sim.Time) sim.MachineStatus {
 			}
 		}
 	case bWriteD:
-		b.d.DirectWrite(memory.Some(m.v))
+		b.d.DirectWrite(m.log, memory.Some(m.v))
 		m.decision = m.v
 		return sim.MachineDecided
 	}

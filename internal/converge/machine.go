@@ -20,6 +20,7 @@ import (
 // round-2 snapshot — the same allocation the goroutine path performs.
 type Machine struct {
 	me   sim.PID
+	log  *sim.AccessLog
 	inst *Instance
 	a    memory.DirectSnapshot[sim.Value]
 	b    memory.DirectSnapshot[proposal]
@@ -44,8 +45,9 @@ type Machine struct {
 	Adopt func(in sim.Value, smallest ValueSet) sim.Value
 }
 
-// Bind fixes the machine's process identity; call once from StepMachine.Init.
-func (m *Machine) Bind(me sim.PID) { m.me = me }
+// Bind fixes the machine's process identity and the run's access log (nil
+// when the run is not recorded); call once from StepMachine.Init.
+func (m *Machine) Bind(me sim.PID, log *sim.AccessLog) { m.me, m.log = me, log }
 
 // Start prepares one Converge(inst, v) call. It returns true when the call
 // completed without any atomic step — the 0-converge case, which by
@@ -74,17 +76,17 @@ func (m *Machine) Start(inst *Instance, v sim.Value) (done bool) {
 func (m *Machine) StepOp() (done bool) {
 	switch m.pc {
 	case 0: // round 1 update
-		m.a.DirectUpdate(m.me, m.in)
+		m.a.DirectUpdate(m.log, m.me, m.in)
 		m.pc = 1
 	case 1: // round 1 scan
-		m.scanA = m.a.DirectScan(m.scanA[:0])
+		m.scanA = m.a.DirectScan(m.log, m.scanA[:0])
 		m.vs = NewValueSet(m.scanA)
 		m.pc = 2
 	case 2: // round 2 update
-		m.b.DirectUpdate(m.me, proposal{set: m.vs, commit: len(m.vs) <= m.inst.k})
+		m.b.DirectUpdate(m.log, m.me, proposal{set: m.vs, commit: len(m.vs) <= m.inst.k})
 		m.pc = 3
 	case 3: // round 2 scan + result
-		m.scanB = m.b.DirectScan(m.scanB[:0])
+		m.scanB = m.b.DirectScan(m.log, m.scanB[:0])
 		allCommit := true
 		var smallest ValueSet
 		for _, e := range m.scanB {

@@ -63,6 +63,7 @@ type fig1Machine struct {
 	dr     *memory.Register[memory.Opt[sim.Value]]
 	stable *memory.Register[bool]
 	conv   converge.Machine
+	log    *sim.AccessLog
 	pc     uint8
 
 	decision sim.Value
@@ -76,7 +77,8 @@ func (g *Fig1) Machine(input sim.Value) sim.StepMachine {
 
 func (m *fig1Machine) Init(ctx sim.MachineContext) {
 	m.me = ctx.ID
-	m.conv.Bind(ctx.ID)
+	m.log = ctx.Log
+	m.conv.Bind(ctx.ID, ctx.Log)
 	m.r = 1
 	m.pc = f1ReadD
 }
@@ -87,7 +89,7 @@ func (m *fig1Machine) Step(t sim.Time) sim.MachineStatus {
 	g := m.g
 	switch m.pc {
 	case f1ReadD:
-		if d := g.d.DirectRead(); d.OK {
+		if d := g.d.DirectRead(m.log); d.OK {
 			m.decision = d.V
 			return sim.MachineDecided
 		}
@@ -103,7 +105,7 @@ func (m *fig1Machine) Step(t sim.Time) sim.MachineStatus {
 			}
 		}
 	case f1WriteD:
-		g.d.DirectWrite(memory.Some(m.v))
+		g.d.DirectWrite(m.log, memory.Some(m.v))
 		m.decision = m.v
 		return sim.MachineDecided
 	case f1QueryU:
@@ -112,19 +114,19 @@ func (m *fig1Machine) Step(t sim.Time) sim.MachineStatus {
 		m.k = 1
 		m.pc = f1CycleReadD
 	case f1CycleReadD:
-		if d := g.d.DirectRead(); d.OK {
+		if d := g.d.DirectRead(m.log); d.OK {
 			m.decision = d.V
 			return sim.MachineDecided
 		}
 		m.pc = f1ReadStable
 	case f1ReadStable:
-		if m.stable.DirectRead() {
+		if m.stable.DirectRead(m.log) {
 			m.pc = f1LeaveReadDr // condition (a)
 		} else {
 			m.pc = f1ReadDr
 		}
 	case f1ReadDr:
-		if w := m.dr.DirectRead(); w.OK {
+		if w := m.dr.DirectRead(m.log); w.OK {
 			m.v = w.V // condition (c)
 			m.pc = f1LeaveReadDr
 		} else if !m.u.Has(m.me) {
@@ -136,7 +138,7 @@ func (m *fig1Machine) Step(t sim.Time) sim.MachineStatus {
 			m.pc = f1SubConv
 		}
 	case f1CitizenWrite:
-		m.dr.DirectWrite(memory.Some(m.v))
+		m.dr.DirectWrite(m.log, memory.Some(m.v))
 		m.pc = f1LeaveReadDr
 	case f1SubConv:
 		if m.conv.StepOp() {
@@ -148,7 +150,7 @@ func (m *fig1Machine) Step(t sim.Time) sim.MachineStatus {
 			}
 		}
 	case f1GladWrite:
-		m.dr.DirectWrite(memory.Some(m.v))
+		m.dr.DirectWrite(m.log, memory.Some(m.v))
 		m.pc = f1LeaveReadDr
 	case f1ReQuery:
 		if u2 := fd.QueryAt[sim.Set](g.upsilon, m.me, t); u2 != m.u {
@@ -158,10 +160,10 @@ func (m *fig1Machine) Step(t sim.Time) sim.MachineStatus {
 			m.pc = f1CycleReadD
 		}
 	case f1StableWrite:
-		m.stable.DirectWrite(true)
+		m.stable.DirectWrite(m.log, true)
 		m.pc = f1LeaveReadDr
 	case f1LeaveReadDr:
-		if w := m.dr.DirectRead(); w.OK {
+		if w := m.dr.DirectRead(m.log); w.OK {
 			m.v = w.V
 		}
 		m.r++
@@ -208,6 +210,7 @@ type fig2Machine struct {
 	snap   memory.DirectSnapshot[sim.Value]
 	scan   []memory.Opt[sim.Value]
 	conv   converge.Machine
+	log    *sim.AccessLog
 	pc     uint8
 
 	decision sim.Value
@@ -221,7 +224,8 @@ func (g *Fig2) Machine(input sim.Value) sim.StepMachine {
 
 func (m *fig2Machine) Init(ctx sim.MachineContext) {
 	m.me = ctx.ID
-	m.conv.Bind(ctx.ID)
+	m.log = ctx.Log
+	m.conv.Bind(ctx.ID, ctx.Log)
 	m.r = 1
 	m.pc = f2ReadD
 }
@@ -232,7 +236,7 @@ func (m *fig2Machine) Step(t sim.Time) sim.MachineStatus {
 	g := m.g
 	switch m.pc {
 	case f2ReadD:
-		if d := g.d.DirectRead(); d.OK {
+		if d := g.d.DirectRead(m.log); d.OK {
 			m.decision = d.V
 			return sim.MachineDecided
 		}
@@ -248,7 +252,7 @@ func (m *fig2Machine) Step(t sim.Time) sim.MachineStatus {
 			}
 		}
 	case f2WriteD:
-		g.d.DirectWrite(memory.Some(m.v))
+		g.d.DirectWrite(m.log, memory.Some(m.v))
 		m.decision = m.v
 		return sim.MachineDecided
 	case f2QueryU:
@@ -257,19 +261,19 @@ func (m *fig2Machine) Step(t sim.Time) sim.MachineStatus {
 		m.k = 1
 		m.pc = f2CycleReadD
 	case f2CycleReadD:
-		if d := g.d.DirectRead(); d.OK {
+		if d := g.d.DirectRead(m.log); d.OK {
 			m.decision = d.V
 			return sim.MachineDecided
 		}
 		m.pc = f2ReadStable
 	case f2ReadStable:
-		if m.stable.DirectRead() {
+		if m.stable.DirectRead(m.log) {
 			m.pc = f2LeaveReadDr
 		} else {
 			m.pc = f2ReadDr
 		}
 	case f2ReadDr:
-		if w := m.dr.DirectRead(); w.OK { // line 23
+		if w := m.dr.DirectRead(m.log); w.OK { // line 23
 			m.v = w.V
 			m.pc = f2LeaveReadDr
 		} else if !m.u.Has(m.me) {
@@ -279,13 +283,13 @@ func (m *fig2Machine) Step(t sim.Time) sim.MachineStatus {
 			m.pc = f2SnapUpdate
 		}
 	case f2CitizenWrite:
-		m.dr.DirectWrite(memory.Some(m.v))
+		m.dr.DirectWrite(m.log, memory.Some(m.v))
 		m.pc = f2LeaveReadDr
 	case f2SnapUpdate:
-		m.snap.DirectUpdate(m.me, m.v) // line 16
+		m.snap.DirectUpdate(m.log, m.me, m.v) // line 16
 		m.pc = f2SnapScan
 	case f2SnapScan:
-		m.scan = m.snap.DirectScan(m.scan[:0])
+		m.scan = m.snap.DirectScan(m.log, m.scan[:0])
 		if memory.CountSome(m.scan) >= g.n-g.f {
 			m.v = minValue(m.scan) // line 25
 			param := m.u.Len() + g.f - g.n
@@ -299,20 +303,20 @@ func (m *fig2Machine) Step(t sim.Time) sim.MachineStatus {
 			m.pc = f2WaitReadD
 		}
 	case f2WaitReadD:
-		if d := g.d.DirectRead(); d.OK {
+		if d := g.d.DirectRead(m.log); d.OK {
 			m.decision = d.V
 			return sim.MachineDecided
 		}
 		m.pc = f2WaitReadDr
 	case f2WaitReadDr:
-		if w := m.dr.DirectRead(); w.OK {
+		if w := m.dr.DirectRead(m.log); w.OK {
 			m.v = w.V
 			m.pc = f2LeaveReadDr
 		} else {
 			m.pc = f2WaitReadStable
 		}
 	case f2WaitReadStable:
-		if m.stable.DirectRead() {
+		if m.stable.DirectRead(m.log) {
 			m.pc = f2LeaveReadDr
 		} else {
 			m.pc = f2WaitQuery
@@ -333,7 +337,7 @@ func (m *fig2Machine) Step(t sim.Time) sim.MachineStatus {
 			}
 		}
 	case f2GladWrite:
-		m.dr.DirectWrite(memory.Some(m.v))
+		m.dr.DirectWrite(m.log, memory.Some(m.v))
 		m.pc = f2LeaveReadDr
 	case f2ReQuery:
 		if u2 := fd.QueryAt[sim.Set](g.upsilon, m.me, t); u2 != m.u {
@@ -343,10 +347,10 @@ func (m *fig2Machine) Step(t sim.Time) sim.MachineStatus {
 			m.pc = f2CycleReadD
 		}
 	case f2StableWrite:
-		m.stable.DirectWrite(true)
+		m.stable.DirectWrite(m.log, true)
 		m.pc = f2LeaveReadDr
 	case f2LeaveReadDr:
-		if w := m.dr.DirectRead(); w.OK { // line 33
+		if w := m.dr.DirectRead(m.log); w.OK { // line 33
 			m.v = w.V
 		}
 		m.r++
@@ -395,6 +399,7 @@ type extractionMachine struct {
 	sSet    bool
 	sawB    bool
 	j       int
+	log     *sim.AccessLog
 	pc      uint8
 }
 
@@ -406,6 +411,7 @@ func (e *Extraction) Machine() sim.StepMachine {
 
 func (m *extractionMachine) Init(ctx sim.MachineContext) {
 	m.me = ctx.ID
+	m.log = ctx.Log
 	m.full = sim.FullSet(m.e.n)
 	m.last = make([]int64, m.e.n)
 	m.fresh = make([]int, m.e.n)
@@ -451,11 +457,11 @@ func (m *extractionMachine) Step(t sim.Time) sim.MachineStatus {
 		m.ts++
 		m.pc = exInitWrite
 	case exInitWrite:
-		e.r.DirectWrite(m.me, report{val: m.d, ts: m.ts})
+		e.r.DirectWrite(m.log, m.me, report{val: m.d, ts: m.ts})
 		m.r = 1
 		m.pc = exRoundOut
 	case exRoundOut:
-		e.out.DirectWrite(m.me, m.full) // lines 7-10
+		e.out.DirectWrite(m.log, m.me, m.full) // lines 7-10
 		m.s, m.w = e.phi(m.d)
 		m.changed, m.exited = e.rounds.at(m.r)
 		m.batches = 0
@@ -465,7 +471,7 @@ func (m *extractionMachine) Step(t sim.Time) sim.MachineStatus {
 		m.sSet = false
 		m.pc = exChangedRead
 	case exChangedRead:
-		if m.changed.DirectRead() {
+		if m.changed.DirectRead(m.log) {
 			m.pc = exExitQuery
 		} else {
 			m.pc = exD2Query
@@ -475,7 +481,7 @@ func (m *extractionMachine) Step(t sim.Time) sim.MachineStatus {
 		m.ts++
 		m.pc = exD2Write
 	case exD2Write:
-		e.r.DirectWrite(m.me, report{val: m.d2, ts: m.ts})
+		e.r.DirectWrite(m.log, m.me, report{val: m.d2, ts: m.ts})
 		if m.d2 != m.d {
 			m.pc = exChangedWriteBreak
 		} else {
@@ -484,10 +490,10 @@ func (m *extractionMachine) Step(t sim.Time) sim.MachineStatus {
 			m.pc = exReadReports
 		}
 	case exChangedWriteBreak:
-		m.changed.DirectWrite(true)
+		m.changed.DirectWrite(m.log, true)
 		m.pc = exExitQuery
 	case exReadReports:
-		rep := e.r.DirectRead(sim.PID(m.j))
+		rep := e.r.DirectRead(m.log, sim.PID(m.j))
 		differs := false
 		if rep.ts > m.last[m.j] {
 			if rep.val != m.d {
@@ -509,14 +515,14 @@ func (m *extractionMachine) Step(t sim.Time) sim.MachineStatus {
 			m.afterReports()
 		}
 	case exChangedWriteCont:
-		m.changed.DirectWrite(true)
+		m.changed.DirectWrite(m.log, true)
 		if m.j < e.n {
 			m.pc = exReadReports
 		} else {
 			m.afterReports()
 		}
 	case exExitedReadMe:
-		if ex := m.exited.DirectRead(m.me); ex.OK && ex.V == m.d {
+		if ex := m.exited.DirectRead(m.log, m.me); ex.OK && ex.V == m.d {
 			m.batches = m.w
 			m.afterExited()
 		} else {
@@ -527,7 +533,7 @@ func (m *extractionMachine) Step(t sim.Time) sim.MachineStatus {
 			}
 		}
 	case exExitedReadJ:
-		if ex := m.exited.DirectRead(sim.PID(m.j)); ex.OK && ex.V == m.d {
+		if ex := m.exited.DirectRead(m.log, sim.PID(m.j)); ex.OK && ex.V == m.d {
 			m.batches = m.w
 		}
 		m.j++
@@ -537,10 +543,10 @@ func (m *extractionMachine) Step(t sim.Time) sim.MachineStatus {
 			m.afterExited()
 		}
 	case exExitedWrite:
-		m.exited.DirectWrite(m.me, memory.Some[any](m.d)) // line 19
+		m.exited.DirectWrite(m.log, m.me, memory.Some[any](m.d)) // line 19
 		m.pc = exOutWrite
 	case exOutWrite:
-		e.out.DirectWrite(m.me, m.s)
+		e.out.DirectWrite(m.log, m.me, m.s)
 		m.sSet = true
 		m.pc = exChangedRead
 	case exExitQuery:
@@ -548,7 +554,7 @@ func (m *extractionMachine) Step(t sim.Time) sim.MachineStatus {
 		m.ts++
 		m.pc = exExitWrite
 	case exExitWrite:
-		e.r.DirectWrite(m.me, report{val: m.d, ts: m.ts})
+		e.r.DirectWrite(m.log, m.me, report{val: m.d, ts: m.ts})
 		m.r++
 		m.pc = exRoundOut
 	}
@@ -577,6 +583,7 @@ type heartbeatMachine struct {
 	suspected sim.Set
 	u         sim.Set
 	j         int
+	log       *sim.AccessLog
 	pc        uint8
 }
 
@@ -588,6 +595,7 @@ func (h *HeartbeatUpsilon) Machine() sim.StepMachine {
 
 func (m *heartbeatMachine) Init(ctx sim.MachineContext) {
 	m.me = ctx.ID
+	m.log = ctx.Log
 	m.lastSeen = make([]int64, m.h.n)
 	m.staleFor = make([]int64, m.h.n)
 	m.threshold = make([]int64, m.h.n)
@@ -604,15 +612,15 @@ func (m *heartbeatMachine) Step(_ sim.Time) sim.MachineStatus {
 	h := m.h
 	switch m.pc {
 	case hbInitWrite:
-		h.out.DirectWrite(m.me, sim.SetOf(0))
+		h.out.DirectWrite(m.log, m.me, sim.SetOf(0))
 		m.pc = hbTick
 	case hbTick:
 		m.ticks++
-		h.hb.DirectWrite(m.me, m.ticks)
+		h.hb.DirectWrite(m.log, m.me, m.ticks)
 		m.j = 0
 		m.pc = hbCollect
 	case hbCollect:
-		m.beats[m.j] = h.hb.DirectRead(sim.PID(m.j))
+		m.beats[m.j] = h.hb.DirectRead(m.log, sim.PID(m.j))
 		m.j++
 		if m.j < h.n {
 			break
@@ -643,13 +651,16 @@ func (m *heartbeatMachine) Step(_ sim.Time) sim.MachineStatus {
 		if m.u.IsEmpty() {
 			m.u = sim.SetOf(0)
 		}
+		// Inspecting the own output register is process-local knowledge
+		// (only this process writes it), so it is not a recorded access:
+		// it cannot conflict with any other process's step.
 		if changed || h.out.At(m.me).Inspect() != m.u {
 			m.pc = hbOutWrite
 		} else {
 			m.pc = hbYield
 		}
 	case hbOutWrite:
-		h.out.DirectWrite(m.me, m.u)
+		h.out.DirectWrite(m.log, m.me, m.u)
 		m.pc = hbTick
 	case hbYield:
 		// One no-op step, like Proc.Yield: waiting consumes schedule steps.

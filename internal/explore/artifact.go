@@ -38,33 +38,35 @@ type Artifact struct {
 	Violation string `json:"violation"`
 }
 
-// newArtifact assembles the artifact for one shrunk violation.
-func newArtifact(cfg Config, run *Run, property, message string, schedule []sim.PID) *Artifact {
+// newArtifact assembles the artifact for one shrunk violation. The recorded
+// configuration is the *witness* configuration — the shrinker may have
+// dropped crashes and shrunk the oracle relative to the discovery run.
+func newArtifact(cfg Config, run *Run, property string, w witness) *Artifact {
 	a := &Artifact{
 		Schema:     1,
 		System:     run.System,
 		N:          cfg.System.N(),
 		F:          cfg.System.MaxFaults(),
-		OracleName: run.Oracle.Name,
-		OracleSeed: run.Oracle.Seed,
+		OracleName: w.oracle.Name,
+		OracleSeed: w.oracle.Seed,
 		Budget:     cfg.Budget,
 		Property:   property,
-		Violation:  message,
+		Violation:  w.message,
 	}
 	for _, v := range run.Proposals {
 		a.Proposals = append(a.Proposals, int64(v))
 	}
-	for _, p := range run.Pattern.Faulty().Members() {
+	for _, p := range w.pattern.Faulty().Members() {
 		if a.Crashes == nil {
 			a.Crashes = make(map[string]int64)
 		}
-		a.Crashes[strconv.Itoa(int(p))] = int64(run.Pattern.CrashAt(p))
+		a.Crashes[strconv.Itoa(int(p))] = int64(w.pattern.CrashAt(p))
 	}
-	for _, p := range run.Oracle.Stable.Members() {
+	for _, p := range w.oracle.Stable.Members() {
 		a.OracleStable = append(a.OracleStable, int(p))
 	}
-	a.Schedule = make([]int, len(schedule))
-	for i, p := range schedule {
+	a.Schedule = make([]int, len(w.schedule))
+	for i, p := range w.schedule {
 		a.Schedule[i] = int(p)
 	}
 	return a
@@ -121,7 +123,9 @@ func (a *Artifact) pattern() (sim.Pattern, error) {
 // through a sim.FixedSchedule on fresh state. It returns the completed run
 // and the property-check error — non-nil exactly when the recorded
 // violation reproduced. hook, when non-nil, observes every grant (for step
-// traces).
+// traces). The replay records shared-object accesses: the returned run's
+// Report.Accesses holds the per-step access sets, aligned with the grant
+// indices the hook saw.
 func (a *Artifact) Replay(hook func(idx int, t sim.Time, enabled sim.Set, chosen sim.PID)) (*Run, error, error) {
 	sys, err := NewSystem(a.System, a.N, a.F)
 	if err != nil {
@@ -150,7 +154,7 @@ func (a *Artifact) Replay(hook func(idx int, t sim.Time, enabled sim.Set, chosen
 	sched := sim.NewFixedSchedule(prefix)
 	sched.OnGrant = hook
 
-	run := execute(sys, pattern, oracle, sched, a.Budget)
+	run := execute(sys, pattern, oracle, sched, a.Budget, sim.NewAccessLog())
 	run.Schedule = prefix
 	var checked *error
 	for _, prop := range sys.Properties() {

@@ -8,27 +8,58 @@
 // experiment lab only samples a few hundred seeded-random schedules. The
 // explorer closes that gap for small configurations (n ≤ 4): it enumerates a
 // precisely-defined family of schedules × crash patterns, replays each one
-// through sim.RunMachines on fresh shared state (runs are deterministic in
-// the schedule, so replay *is* cloning), and checks declarative Property
-// values against every completed run.
+// through sim.RunMachines (or sim.RunTaskMachines for the multi-task
+// compositions) on fresh shared state (runs are deterministic in the
+// schedule, so replay *is* cloning), and checks declarative Property values
+// against every completed run.
+//
+// # Engines
+//
+// Two engines enumerate the schedule space; both close every run with a
+// fair round-robin tail inside the step budget.
+//
+// EngineDPOR (default) is dynamic partial-order reduction in the
+// Flanagan–Godefroid style (POPL 2005), built on the access-recording seam
+// of internal/memory: every Direct* accessor reports its (object,
+// read|write) events to the run's sim.AccessLog, so each step carries its
+// exact shared-object footprint. Two steps of different processes are
+// independent when their access sets do not conflict (no common object with
+// at least one write); schedules that differ only by reordering independent
+// adjacent steps are equivalent, and DPOR executes at least one
+// representative per equivalence class (Mazurkiewicz trace):
+//
+//   - Happens-before is tracked with per-process and per-object vector
+//     clocks over the recorded access sets (snapshot objects are tracked
+//     per *position*: updates by different processes commute, scans
+//     conflict with every update).
+//   - A race — conflicting accesses of different processes ordered only by
+//     their own pair — inserts a backtrack point at the earlier access's
+//     pre-state; the DFS re-executes the chosen prefix and explores the
+//     reversal.
+//   - Sleep sets carry fully-explored siblings (with their next-step access
+//     sets) down the tree and skip them until a conflicting step wakes
+//     them; every skip is counted as a pruned schedule in Result.Pruned.
+//
+// Config.MaxDepth bounds where backtrack points may be inserted: the search
+// is exhaustive up to commutativity over *every* schedule — arbitrarily
+// many context switches — whose branching lies in the first MaxDepth steps.
+// Terminating protocols at small n afford full depth (MaxDepth = budget);
+// the non-terminating extraction and the compositions use a finite horizon.
+// Reduction soundness needs step behaviour to be independent of a step's
+// global time; the explorer guarantees that by construction (stable-from-0
+// detector histories, pattern-fixed crash times, machines that use the time
+// parameter only for detector queries).
+//
+// EngineEnum is the PR-3 enumerator, kept for differential testing: a
+// schedule is a sequence of adversarial "blocks" (block (p, ℓ) grants up to
+// ℓ consecutive steps to p) followed by the fair tail — exactly the
+// context-switch-bounded exploration of Musuvathi & Qadeer's CHESS, with
+// stutter pruning on cut-short blocks and canonical decomposition of solo
+// spans. The differential suite (differential_test.go, CI) asserts both
+// engines find the identical violation set on the standard n ≤ 3 suite and
+// on the wrong-adopt mutant, with DPOR executing strictly fewer schedules.
 //
 // # What is enumerated
-//
-// Schedules. A schedule is explored as a sequence of adversarial "blocks"
-// followed by a fair round-robin tail: block (p, ℓ) grants up to ℓ
-// consecutive steps to process p (fewer if p returns or crashes first), and
-// after at most MaxBlocks blocks the round-robin tail runs the system to
-// completion within the step budget. The explorer enumerates every such
-// schedule — all block counts ≤ MaxBlocks, all block owners, all lengths
-// ≤ MaxBlock — which is exactly the context-switch-bounded exploration of
-// Musuvathi & Qadeer's CHESS: most concurrency bugs are triggered by few
-// preemptions, and within the bound the search is exhaustive. Two prunings
-// keep the frontier tractable without losing coverage: a block that was cut
-// short (its process returned or crashed) makes every longer length
-// stutter-equivalent, so the length scan stops; and consecutive blocks of
-// one process are generated only as the canonical decomposition of a longer
-// solo span (full MaxBlock blocks then a remainder), never as partial
-// splits that would duplicate a shorter scan.
 //
 // Failure patterns. Every crash set of size ≤ f (the environment E_f) is
 // combined with every assignment of crash times from a small grid
@@ -41,20 +72,26 @@
 // stable outputs of its failure detector (every legal Υ/Υ^f stable set,
 // every correct Ω leader), stable from time 0: the adversary already owns
 // the schedule, and pre-stabilization noise is subsumed by exploring every
-// stable value.
+// stable value. The timed composition consumes no oracle at all — its
+// detector is implemented from heartbeats, and the explorer checks that
+// safety survives every way the implementation can misbehave.
 //
 // # Counterexamples
 //
 // A violated property yields the flat granted-PID sequence of the failing
-// run. The shrinker minimizes it (prefix truncation, then ddmin-style chunk
-// deletion — each candidate re-replayed through
-// sim.FixedSchedule and kept only if the same property still fails) and the
-// result is emitted as a JSON Artifact that `fdlab replay` re-executes
-// deterministically, step for step, with an optional trace.
+// run. The shrinker minimizes the schedule (prefix truncation, then
+// ddmin-style chunk deletion) and then the *configuration*: crashes that
+// are not load-bearing are dropped from the pattern and the oracle's stable
+// set is shrunk to the smallest legal value on which the failure survives —
+// every candidate re-replayed through sim.FixedSchedule and kept only if
+// the same property still fails. The result is emitted as a JSON Artifact
+// recording the witness configuration; `fdlab replay` re-executes it
+// deterministically, step for step, with an optional trace that includes
+// each step's recorded access set.
 //
 // The package proves its own worth by mutation: internal/explore's tests
-// show the explorer finds and shrinks an agreement violation in a fig1
+// show both engines find and shrink an agreement violation in a fig1
 // variant with a broken converge adopt rule (core.MutWrongAdopt) that every
-// seeded-random suite in this repository misses, and finds none across the
-// real protocols' full n ≤ 3 sweep.
+// seeded-random suite in this repository misses, and find none across the
+// real protocols' standard sweep.
 package explore

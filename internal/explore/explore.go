@@ -10,19 +10,57 @@ import (
 	"weakestfd/internal/sim"
 )
 
+// Engine selects the exploration algorithm.
+type Engine uint8
+
+const (
+	// EngineDPOR — the default — is the dynamic partial-order reduction
+	// DFS (dpor.go): full-depth exploration of one representative per
+	// commutativity class of schedules, driven by the per-step
+	// shared-object access sets the instrumented memory layer records.
+	EngineDPOR Engine = iota
+	// EngineEnum is the context-switch-bounded block enumerator of PR 3,
+	// kept as the differential-testing reference: DPOR and the enumerator
+	// must find the identical violation set on the standard suites.
+	EngineEnum
+)
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	if e == EngineEnum {
+		return "enum"
+	}
+	return "dpor"
+}
+
 // Config bounds one exploration. The zero value of every field has a usable
 // default; only System is required.
 type Config struct {
 	// System is the protocol under exploration.
 	System System
+	// Engine selects the exploration algorithm; the zero value is
+	// EngineDPOR.
+	Engine Engine
 	// MaxBlocks bounds the number of adversarial blocks per schedule (the
 	// context-switch bound); the fair round-robin tail after the last block
-	// is free. Default 2.
+	// is free. Default 2. EngineEnum only.
 	MaxBlocks int
 	// MaxBlock bounds the length of one adversarial block. Default 48.
+	// EngineEnum only.
 	MaxBlock int
 	// Budget caps every run's total step count. Default 4096.
 	Budget int64
+	// MaxDepth bounds the step depth at which the DPOR engine inserts
+	// backtrack points; beyond it runs continue under the fair tail without
+	// branching. 0 means the step budget — genuinely full-depth for
+	// terminating protocols. Non-terminating systems (the extraction, the
+	// compositions' reduction tasks) need a finite bound to keep the
+	// branching frontier tractable. EngineDPOR only.
+	MaxDepth int
+	// MaxRuns caps the number of runs one configuration's DPOR search may
+	// execute (0 = unlimited); hitting the cap marks the Result Truncated,
+	// which voids the exhaustiveness claim for that sweep. EngineDPOR only.
+	MaxRuns int64
 	// MaxFaults overrides the system's environment E_f (0 keeps it).
 	MaxFaults int
 	// CrashTimes is the crash-time grid per faulty process. Default {0, 3}:
@@ -56,6 +94,9 @@ func (c Config) withDefaults() Config {
 	if c.Budget == 0 {
 		c.Budget = 4096
 	}
+	if c.MaxDepth <= 0 || int64(c.MaxDepth) > c.Budget {
+		c.MaxDepth = int(c.Budget)
+	}
 	if c.MaxFaults <= 0 || c.MaxFaults > c.System.MaxFaults() {
 		c.MaxFaults = c.System.MaxFaults()
 	}
@@ -77,9 +118,17 @@ type Violation struct {
 	Property string
 	// Message describes the failure (from Property.Check).
 	Message string
-	// Pattern and Oracle identify the configuration.
+	// Pattern and Oracle identify the configuration the violation was
+	// discovered under.
 	Pattern string
 	Oracle  string
+	// WitnessPattern and WitnessOracle identify the *shrunk* witness
+	// configuration: the shrinker also minimizes the configuration (drops
+	// crashes from the pattern, shrinks the oracle's stable set), so these
+	// may be strictly smaller than the discovery configuration. The
+	// Artifact records the witness configuration.
+	WitnessPattern string
+	WitnessOracle  string
 	// Steps is the length of the originally found violating run;
 	// ShrunkSteps the length of the shrunk schedule prefix.
 	Steps       int64
@@ -89,18 +138,31 @@ type Violation struct {
 }
 
 func (v *Violation) String() string {
-	return fmt.Sprintf("%s violated under %s, %s (run %d steps, shrunk to %d): %s",
-		v.Property, v.Pattern, v.Oracle, v.Steps, v.ShrunkSteps, v.Message)
+	where := fmt.Sprintf("%s, %s", v.Pattern, v.Oracle)
+	if v.WitnessPattern != v.Pattern || v.WitnessOracle != v.Oracle {
+		where += fmt.Sprintf(" (witness shrunk to %s, %s)", v.WitnessPattern, v.WitnessOracle)
+	}
+	return fmt.Sprintf("%s violated under %s (run %d steps, shrunk to %d): %s",
+		v.Property, where, v.Steps, v.ShrunkSteps, v.Message)
 }
 
 // Result summarizes one exploration.
 type Result struct {
 	// System is the explored system's name.
 	System string
+	// Engine names the exploration algorithm that produced the result.
+	Engine string
 	// Configs is the number of (pattern × oracle) configurations.
 	Configs int
 	// Runs is the number of schedules executed (shrinking replays excluded).
 	Runs int64
+	// Pruned counts the schedules the DPOR engine proved redundant without
+	// executing them (sleep-set skips); always 0 for EngineEnum, whose
+	// stutter pruning cuts length scans rather than whole schedules.
+	Pruned int64
+	// Truncated reports that some configuration hit Config.MaxRuns, voiding
+	// the sweep's exhaustiveness claim.
+	Truncated bool
 	// MaxSteps is the longest run observed.
 	MaxSteps int64
 	// SettledRuns counts extraction runs whose outputs settled (0 for
@@ -165,6 +227,8 @@ type explorer struct {
 	settled    atomic.Int64
 	maxSteps   atomic.Int64
 	violations atomic.Int64
+	pruned     atomic.Int64
+	truncated  atomic.Bool
 
 	mu    sync.Mutex
 	found []*Violation
@@ -219,8 +283,11 @@ func Explore(cfg Config) *Result {
 	defer e.mu.Unlock()
 	return &Result{
 		System:      sys.Name(),
+		Engine:      cfg.Engine.String(),
 		Configs:     len(jobs),
 		Runs:        e.runs.Load(),
+		Pruned:      e.pruned.Load(),
+		Truncated:   e.truncated.Load(),
 		MaxSteps:    e.maxSteps.Load(),
 		SettledRuns: e.settled.Load(),
 		Violations:  append([]*Violation(nil), e.found...),
@@ -234,12 +301,20 @@ func (e *explorer) stopped() bool {
 	return e.violations.Load() >= int64(e.cfg.MaxViolations)
 }
 
-// exploreConfig runs the block-sequence DFS for one (pattern, oracle)
+// exploreConfig runs the configured engine's DFS for one (pattern, oracle)
 // configuration and returns how many distinct violations it contributed and
 // how many runs it executed. Configurations explore concurrently on the lab
 // pool, so the per-config run count is tracked locally, not read off the
 // shared counter.
 func (e *explorer) exploreConfig(pattern sim.Pattern, oracle OracleChoice) (violations, runs int64) {
+	if e.cfg.Engine == EngineDPOR {
+		d := e.dporConfig(pattern, oracle)
+		e.pruned.Add(d.pruned)
+		if d.truncated {
+			e.truncated.Store(true)
+		}
+		return d.violations, d.runs
+	}
 	c := &configRun{e: e, pattern: pattern, oracle: oracle}
 	// Root: the pure fair schedule, no adversarial blocks.
 	root, _ := c.run(nil)
@@ -303,7 +378,7 @@ func (c *configRun) dfs(blocks []block) {
 func (c *configRun) run(blocks []block) (*Run, []int) {
 	e := c.e
 	sched := newBlockSchedule(blocks)
-	run := execute(e.cfg.System, c.pattern, c.oracle, sched, e.cfg.Budget)
+	run := execute(e.cfg.System, c.pattern, c.oracle, sched, e.cfg.Budget, nil)
 	run.Schedule = sched.granted
 	c.runs++
 	e.runs.Add(1)
@@ -321,14 +396,21 @@ func (c *configRun) run(blocks []block) (*Run, []int) {
 
 // execute runs one simulation of sys under the given schedule on fresh
 // shared state and returns the completed Run (properties not yet checked).
-func execute(sys System, pattern sim.Pattern, oracle OracleChoice, sched sim.Schedule, budget int64) *Run {
+// log, when non-nil, records every step's shared-object access set.
+func execute(sys System, pattern sim.Pattern, oracle OracleChoice, sched sim.Schedule, budget int64, log *sim.AccessLog) *Run {
 	inst := sys.Instantiate(pattern, oracle)
-	simCfg := sim.Config{Pattern: pattern, Schedule: sched, Budget: budget}
+	simCfg := sim.Config{Pattern: pattern, Schedule: sched, Budget: budget, AccessLog: log}
 	if inst.Observe != nil {
 		observe := inst.Observe
 		simCfg.StopWhen = func(t sim.Time) bool { observe(t); return false }
 	}
-	rep, err := sim.RunMachines(simCfg, inst.Machines)
+	var rep *sim.Report
+	var err error
+	if len(inst.Tasks) > 0 {
+		rep, err = sim.RunTaskMachines(simCfg, inst.Tasks)
+	} else {
+		rep, err = sim.RunMachines(simCfg, inst.Machines)
+	}
 	run := &Run{
 		System:    sys.Name(),
 		Pattern:   pattern,
@@ -366,15 +448,20 @@ func (e *explorer) check(run *Run, pattern sim.Pattern, oracle OracleChoice) int
 		e.violations.Add(1)
 		contributed++
 
-		shrunk, shrunkMsg := shrink(e.cfg, run, prop)
+		w := shrink(e.cfg, run, prop)
+		if w.message == "" {
+			w.message = err.Error()
+		}
 		v := &Violation{
-			Property:    prop.Name(),
-			Message:     shrunkMsg,
-			Pattern:     patternLabel(pattern),
-			Oracle:      oracle.Name,
-			Steps:       run.Report.Steps,
-			ShrunkSteps: len(shrunk),
-			Artifact:    newArtifact(e.cfg, run, prop.Name(), shrunkMsg, shrunk),
+			Property:       prop.Name(),
+			Message:        w.message,
+			Pattern:        patternLabel(pattern),
+			Oracle:         oracle.Name,
+			WitnessPattern: patternLabel(w.pattern),
+			WitnessOracle:  w.oracle.Name,
+			Steps:          run.Report.Steps,
+			ShrunkSteps:    len(w.schedule),
+			Artifact:       newArtifact(e.cfg, run, prop.Name(), w),
 		}
 		e.mu.Lock()
 		e.found = append(e.found, v)

@@ -34,15 +34,18 @@ func TestFullSweepRealProtocols(t *testing.T) {
 
 // TestExploreDeterministic: two sweeps of the same configuration visit the
 // same schedules (replay is cloning, so this must hold for counterexamples
-// to be reproducible).
+// to be reproducible) — checked for both engines.
 func TestExploreDeterministic(t *testing.T) {
-	run := func() *Result {
-		return Explore(Config{System: Fig1System(2), MaxBlocks: 3, MaxBlock: 16, Budget: 1024, Symmetry: true})
-	}
-	a, b := run(), run()
-	if a.Runs != b.Runs || a.Configs != b.Configs || a.MaxSteps != b.MaxSteps {
-		t.Fatalf("sweeps differ: (%d runs, %d configs, %d max) vs (%d, %d, %d)",
-			a.Runs, a.Configs, a.MaxSteps, b.Runs, b.Configs, b.MaxSteps)
+	for _, engine := range []Engine{EngineDPOR, EngineEnum} {
+		run := func() *Result {
+			return Explore(Config{System: Fig1System(2), Engine: engine, MaxDepth: 20,
+				MaxBlocks: 3, MaxBlock: 16, Budget: 1024, Symmetry: true})
+		}
+		a, b := run(), run()
+		if a.Runs != b.Runs || a.Configs != b.Configs || a.MaxSteps != b.MaxSteps || a.Pruned != b.Pruned {
+			t.Fatalf("%v sweeps differ: (%d runs, %d configs, %d max, %d pruned) vs (%d, %d, %d, %d)",
+				engine, a.Runs, a.Configs, a.MaxSteps, a.Pruned, b.Runs, b.Configs, b.MaxSteps, b.Pruned)
+		}
 	}
 }
 

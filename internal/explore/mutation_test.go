@@ -11,10 +11,16 @@ import (
 )
 
 // brokenSweep runs the calibration sweep against the wrong-adopt fig1
-// mutant at the given size.
-func brokenSweep(n int) *Result {
+// mutant at the given size, with the given engine. The DPOR branch horizon
+// of 24 comfortably contains the mutant's minimal witnesses (17 steps at
+// n=2, 22 at n=3); the per-config run cap only bounds the violation-free
+// configurations the DFS would otherwise exhaust.
+func brokenSweep(n int, engine Engine) *Result {
 	return Explore(Config{
 		System:    BrokenFig1System(n),
+		Engine:    engine,
+		MaxDepth:  24,
+		MaxRuns:   150_000,
 		MaxBlocks: 3,
 		MaxBlock:  24,
 		Budget:    2048,
@@ -30,7 +36,7 @@ func brokenSweep(n int) *Result {
 // suite in this repository performs.
 func TestMutationBrokenFig1Caught(t *testing.T) {
 	for _, n := range []int{2, 3} {
-		res := brokenSweep(n)
+		res := brokenSweep(n, EngineDPOR)
 		if len(res.Violations) == 0 {
 			t.Fatalf("n=%d: explorer missed the wrong-adopt mutant (%d runs)", n, res.Runs)
 		}
@@ -52,7 +58,7 @@ func TestMutationBrokenFig1Caught(t *testing.T) {
 // reads it back, and replays it: the violation must reproduce
 // deterministically, twice.
 func TestMutationArtifactRoundTrip(t *testing.T) {
-	res := brokenSweep(2)
+	res := brokenSweep(2, EngineDPOR)
 	if len(res.Violations) == 0 {
 		t.Fatal("no violation to round-trip")
 	}

@@ -4,24 +4,50 @@ import (
 	"weakestfd/internal/sim"
 )
 
-// shrink minimizes the granted sequence of a violating run: first a binary
-// prefix truncation (the tail after the violation is replaced by the fair
-// fallback), then ddmin-style chunk deletion at halving granularities. Every
-// candidate is re-replayed from fresh state through a sim.FixedSchedule and
-// accepted only if the same property still fails, so the result is a
-// verified counterexample by construction. Replays are capped by
-// cfg.ShrinkBudget; the best candidate so far is returned when it runs out.
-func shrink(cfg Config, run *Run, prop Property) ([]sim.PID, string) {
-	candidate := append([]sim.PID(nil), run.Schedule...)
-	message := ""
+// witness is a minimized, verified counterexample: the smallest
+// configuration and schedule the shrinker could reach on which the violated
+// property still fails, with the failure message of the final replay.
+type witness struct {
+	pattern  sim.Pattern
+	oracle   OracleChoice
+	schedule []sim.PID
+	message  string
+}
+
+// shrink minimizes a violating run along three axes, every candidate
+// re-replayed from fresh state through a sim.FixedSchedule and accepted only
+// if the same property still fails — the result is a verified
+// counterexample by construction:
+//
+//  1. Schedule: binary prefix truncation (the tail after the violation is
+//     replaced by the fair fallback), then ddmin-style chunk deletion at
+//     halving granularities.
+//  2. Pattern: each crash is tentatively dropped (the process becomes
+//     correct); a drop is kept when the failure survives, so the witness
+//     carries only load-bearing crashes.
+//  3. Oracle: every legal detector history for the (possibly shrunk)
+//     pattern with a strictly smaller stable set is tried; the witness
+//     keeps the smallest on which the failure survives.
+//
+// A configuration change can make more of the schedule redundant, so a
+// successful pattern/oracle shrink re-runs the schedule pass. Replays are
+// capped by cfg.ShrinkBudget; the best witness so far is returned when it
+// runs out. A witness with an empty message means the original run did not
+// reproduce under replay (which deterministic systems never hit).
+func shrink(cfg Config, run *Run, prop Property) witness {
+	w := witness{
+		pattern:  run.Pattern,
+		oracle:   run.Oracle,
+		schedule: append([]sim.PID(nil), run.Schedule...),
+	}
 	budget := cfg.ShrinkBudget
 
-	violates := func(prefix []sim.PID) (string, bool) {
+	violates := func(pat sim.Pattern, o OracleChoice, sched []sim.PID) (string, bool) {
 		if budget <= 0 {
 			return "", false
 		}
 		budget--
-		r := execute(cfg.System, run.Pattern, run.Oracle, sim.NewFixedSchedule(prefix), cfg.Budget)
+		r := execute(cfg.System, pat, o, sim.NewFixedSchedule(sched), cfg.Budget, nil)
 		if err := prop.Check(r); err != nil {
 			return err.Error(), true
 		}
@@ -30,37 +56,116 @@ func shrink(cfg Config, run *Run, prop Property) ([]sim.PID, string) {
 
 	// The full sequence must reproduce (it is the run's own trace); record
 	// its message as the baseline.
-	if msg, ok := violates(candidate); ok {
-		message = msg
+	if msg, ok := violates(w.pattern, w.oracle, w.schedule); ok {
+		w.message = msg
 	} else {
-		// Non-reproducible under replay (should not happen: runs are
-		// deterministic in the schedule); fall back to the unshrunk trace.
-		return candidate, ""
+		return w
 	}
 
-	// Phase 1: binary-search the shortest violating prefix.
-	lo, hi := 0, len(candidate)
+	shrinkSchedule(&w, violates)
+	changed := shrinkPattern(cfg, &w, violates)
+	changed = shrinkOracle(cfg, &w, violates) || changed
+	if changed {
+		shrinkSchedule(&w, violates)
+	}
+	return w
+}
+
+// shrinkSchedule minimizes w.schedule under the current configuration:
+// binary-search the shortest violating prefix, then ddmin-lite chunk
+// deletion.
+func shrinkSchedule(w *witness, violates func(sim.Pattern, OracleChoice, []sim.PID) (string, bool)) {
+	lo, hi := 0, len(w.schedule)
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if msg, ok := violates(candidate[:mid]); ok {
-			message = msg
+		if msg, ok := violates(w.pattern, w.oracle, w.schedule[:mid]); ok {
+			w.message = msg
 			hi = mid
 		} else {
 			lo = mid + 1
 		}
 	}
-	candidate = append([]sim.PID(nil), candidate[:hi]...)
+	w.schedule = append([]sim.PID(nil), w.schedule[:hi]...)
 
-	// Phase 2: ddmin-lite — delete chunks at halving sizes.
-	for size := len(candidate) / 2; size >= 1; size /= 2 {
-		for i := 0; i+size <= len(candidate); {
-			trial := append(append([]sim.PID(nil), candidate[:i]...), candidate[i+size:]...)
-			if msg, ok := violates(trial); ok {
-				candidate, message = trial, msg
+	for size := len(w.schedule) / 2; size >= 1; size /= 2 {
+		for i := 0; i+size <= len(w.schedule); {
+			trial := append(append([]sim.PID(nil), w.schedule[:i]...), w.schedule[i+size:]...)
+			if msg, ok := violates(w.pattern, w.oracle, trial); ok {
+				w.schedule, w.message = trial, msg
 				continue // same offset now holds the next chunk
 			}
 			i++
 		}
 	}
-	return candidate, message
+}
+
+// shrinkPattern drops crashes from the witness pattern while the failure
+// survives, keeping the oracle legal for each candidate (an illegal history
+// would indict the environment, not the protocol). Returns whether the
+// pattern changed.
+func shrinkPattern(cfg Config, w *witness, violates func(sim.Pattern, OracleChoice, []sim.PID) (string, bool)) bool {
+	changed := false
+	for {
+		progress := false
+		for _, p := range w.pattern.Faulty().Members() {
+			cand := dropCrash(w.pattern, p)
+			o, legal := matchOracle(cfg.System, cand, w.oracle)
+			if !legal {
+				continue
+			}
+			if msg, ok := violates(cand, o, w.schedule); ok {
+				w.pattern, w.oracle, w.message = cand, o, msg
+				progress, changed = true, true
+				break
+			}
+		}
+		if !progress {
+			return changed
+		}
+	}
+}
+
+// shrinkOracle replaces the witness oracle with a legal history whose
+// stable set is strictly smaller, while the failure survives. Returns
+// whether the oracle changed.
+func shrinkOracle(cfg Config, w *witness, violates func(sim.Pattern, OracleChoice, []sim.PID) (string, bool)) bool {
+	changed := false
+	for {
+		progress := false
+		for _, o := range cfg.System.Oracles(w.pattern) {
+			if o.Stable.Len() >= w.oracle.Stable.Len() {
+				continue
+			}
+			if msg, ok := violates(w.pattern, o, w.schedule); ok {
+				w.oracle, w.message = o, msg
+				progress, changed = true, true
+				break
+			}
+		}
+		if !progress {
+			return changed
+		}
+	}
+}
+
+// dropCrash returns pattern with p made correct.
+func dropCrash(pattern sim.Pattern, p sim.PID) sim.Pattern {
+	crashes := make(map[sim.PID]sim.Time)
+	for _, q := range pattern.Faulty().Members() {
+		if q != p {
+			crashes[q] = pattern.CrashAt(q)
+		}
+	}
+	return sim.CrashPattern(pattern.N(), crashes)
+}
+
+// matchOracle finds the system's enumerated oracle for pattern whose stable
+// set equals o's, reporting false when o is not legal for pattern.
+func matchOracle(sys System, pattern sim.Pattern, o OracleChoice) (OracleChoice, bool) {
+	for _, c := range sys.Oracles(pattern) {
+		if c.Stable == o.Stable {
+			return c, true
+		}
+	}
+	return OracleChoice{}, false
 }

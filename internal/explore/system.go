@@ -2,6 +2,7 @@ package explore
 
 import (
 	"fmt"
+	"strings"
 
 	"weakestfd/internal/check"
 	"weakestfd/internal/converge"
@@ -26,8 +27,15 @@ type OracleChoice struct {
 // Instance is one run's freshly built shared state: the per-process
 // machines plus the hooks the explorer wires into the simulation.
 type Instance struct {
-	// Machines are the per-process automata (one per PID).
+	// Machines are the per-process automata (one per PID). Single-task
+	// systems set Machines; multi-task systems set Tasks instead.
 	Machines []sim.StepMachine
+	// Tasks are the per-process task sets of multi-task systems
+	// (Composed/TimedComposed): the explorer drives them through
+	// sim.RunTaskMachines, putting the extraction∘protocol pipeline of
+	// Corollary 11 under the same exhaustive lens as the single-task
+	// protocols. Exactly one of Machines and Tasks is non-nil.
+	Tasks []sim.MachineTaskSet
 	// Proposals are the input values (nil for extraction systems).
 	Proposals []sim.Value
 	// K is the agreement bound (0 when not applicable).
@@ -71,14 +79,18 @@ func NewSystem(name string, n, f int) (System, error) {
 		return Fig2System(n, f), nil
 	case "extract-omega":
 		return ExtractOmegaSystem(n), nil
+	case "composed":
+		return ComposedSystem(n), nil
+	case "timed-composed":
+		return TimedComposedSystem(n), nil
 	default:
-		return nil, fmt.Errorf("explore: unknown system %q (want fig1|fig1-broken-adopt|fig2|extract-omega)", name)
+		return nil, fmt.Errorf("explore: unknown system %q (want %s)", name, strings.Join(SystemNames(), "|"))
 	}
 }
 
 // SystemNames lists the registry, for CLI help.
 func SystemNames() []string {
-	return []string{"fig1", "fig1-broken-adopt", "fig2", "extract-omega"}
+	return []string{"fig1", "fig1-broken-adopt", "fig2", "extract-omega", "composed", "timed-composed"}
 }
 
 // canonicalProposals returns the explorer's fixed inputs 100..100+n−1:
@@ -251,4 +263,98 @@ func (s extractSystem) Instantiate(pattern sim.Pattern, o OracleChoice) Instance
 
 func (s extractSystem) Properties() []Property {
 	return []Property{UpsilonSanity{Spec: core.Upsilon(s.n)}}
+}
+
+// ---------------------------------------------------------------------------
+// Composed: Figure 3 extraction ∘ Figure 1 protocol (Corollary 11 pipeline)
+
+type composedSystem struct {
+	n int
+}
+
+// ComposedSystem explores the Theorem 10 composition: each process runs the
+// Figure 3 reduction against a stable Ω source as one task and the Figure 1
+// protocol consuming the emulated Υ as a second, through
+// sim.RunTaskMachines. Checked properties are the safety half — Agreement
+// and Validity must hold under *every* schedule, even ones on which the
+// emulated detector has not yet converged; termination is an eventual
+// property of fair runs and is exercised by the lab experiments instead
+// (a bounded adversarial run cannot refute it).
+func ComposedSystem(n int) System { return composedSystem{n: n} }
+
+func (s composedSystem) Name() string   { return "composed" }
+func (s composedSystem) N() int         { return s.n }
+func (s composedSystem) MaxFaults() int { return s.n - 1 }
+
+// Oracles enumerates every correct leader as the underlying Ω source's
+// stable output, as in ExtractOmegaSystem.
+func (s composedSystem) Oracles(pattern sim.Pattern) []OracleChoice {
+	var out []OracleChoice
+	for _, leader := range pattern.Correct().Members() {
+		out = append(out, OracleChoice{
+			Name:   fmt.Sprintf("leader=%v", leader),
+			Stable: sim.SetOf(leader),
+		})
+	}
+	return out
+}
+
+func (s composedSystem) Instantiate(pattern sim.Pattern, o OracleChoice) Instance {
+	oracle := &fd.Stabilizing[sim.PID]{Stable: o.Stable.Min()}
+	c := core.NewComposed(s.n, oracle, core.PhiOmega(s.n), converge.UseAtomic)
+	proposals := canonicalProposals(s.n)
+	return Instance{
+		Tasks:     c.MachineTaskSets(proposals),
+		Proposals: proposals,
+		K:         c.K(),
+	}
+}
+
+func (s composedSystem) Properties() []Property {
+	return []Property{AtMostK{}, Validity{}}
+}
+
+// ---------------------------------------------------------------------------
+// TimedComposed: heartbeat-implemented Υ ∘ Figure 1 protocol
+
+type timedComposedSystem struct {
+	n int
+}
+
+// timedComposedThreshold is the heartbeat implementation's initial
+// per-target patience: small, so suspicion dynamics are reachable within
+// explorer-sized runs.
+const timedComposedThreshold = 2
+
+// TimedComposedSystem explores the oracle-free composition: Υ implemented
+// from heartbeats and adaptive timeouts, consumed by Figure 1, both as
+// parallel tasks. Adversarial schedules legally make the emulated Υ output
+// arbitrary garbage (that is the impossibility of implementing a
+// non-trivial detector in pure asynchrony), so only the safety properties
+// are checked: no schedule — however the emulated detector misbehaves —
+// may produce more than n−1 decisions or an unproposed decision.
+func TimedComposedSystem(n int) System { return timedComposedSystem{n: n} }
+
+func (s timedComposedSystem) Name() string   { return "timed-composed" }
+func (s timedComposedSystem) N() int         { return s.n }
+func (s timedComposedSystem) MaxFaults() int { return s.n - 1 }
+
+// Oracles returns the single trivial choice: the system consumes no oracle
+// (its detector is implemented, not assumed).
+func (s timedComposedSystem) Oracles(sim.Pattern) []OracleChoice {
+	return []OracleChoice{{Name: "heartbeat-emulated"}}
+}
+
+func (s timedComposedSystem) Instantiate(pattern sim.Pattern, _ OracleChoice) Instance {
+	c := core.NewTimedComposed(s.n, timedComposedThreshold, converge.UseAtomic)
+	proposals := canonicalProposals(s.n)
+	return Instance{
+		Tasks:     c.MachineTaskSets(proposals),
+		Proposals: proposals,
+		K:         c.K(),
+	}
+}
+
+func (s timedComposedSystem) Properties() []Property {
+	return []Property{AtMostK{}, Validity{}}
 }

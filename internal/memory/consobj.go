@@ -25,6 +25,11 @@ type ConsensusObject struct {
 	limit     int
 	decided   Opt[sim.Value]
 	accessors sim.Set
+
+	// oid caches the object's interned identity in logRef; see
+	// DirectPropose in direct.go.
+	oid    sim.ObjID
+	logRef *sim.AccessLog
 }
 
 // NewConsensusObject returns an m-process consensus object.

@@ -1,6 +1,10 @@
 package memory
 
-import "weakestfd/internal/sim"
+import (
+	"fmt"
+
+	"weakestfd/internal/sim"
+)
 
 // Direct (step-free) shared-object access for the machine runner.
 //
@@ -12,22 +16,56 @@ import "weakestfd/internal/sim"
 // object state without a Proc. The atomicity guarantee is unchanged — it now
 // comes from the runner's single-threadedness instead of the step gate.
 //
+// Every Direct* accessor takes the run's *sim.AccessLog (the one the runner
+// hands machines through sim.MachineContext.Log) and reports its
+// (object, read|write) accesses to it, making each step's footprint on
+// shared memory observable — the seam the DPOR explorer's dependency
+// analysis is built on. A nil log is the no-op default: recording is guarded
+// by one nil check and the disabled path allocates nothing (asserted by
+// TestDirectAccessNilLogZeroAlloc).
+//
 // Algorithm *bodies* must never call Direct* methods: doing so would perform
 // shared-memory communication without consuming a schedule step, breaking the
 // model. They exist only for StepMachine implementations (and, like Inspect,
 // for post-run checks).
 
+// logID returns the register's identity in log l, interning the name on the
+// first access recorded into l. The cache is keyed by log pointer: an object
+// recorded into a different log re-interns, so sharing an object between
+// logs is safe (if wasteful).
+func (r *Register[T]) logID(l *sim.AccessLog) sim.ObjID {
+	if r.logRef != l {
+		r.oid = l.Intern(r.name)
+		r.logRef = l
+	}
+	return r.oid
+}
+
 // DirectRead returns the register's value without taking a step.
-func (r *Register[T]) DirectRead() T { return r.v }
+func (r *Register[T]) DirectRead(l *sim.AccessLog) T {
+	if l != nil {
+		l.Record(r.logID(l), sim.AccessRead)
+	}
+	return r.v
+}
 
 // DirectWrite sets the register's value without taking a step.
-func (r *Register[T]) DirectWrite(v T) { r.v = v }
+func (r *Register[T]) DirectWrite(l *sim.AccessLog, v T) {
+	if l != nil {
+		l.Record(r.logID(l), sim.AccessWrite)
+	}
+	r.v = v
+}
 
 // DirectRead reads register i without taking a step.
-func (a *Array[T]) DirectRead(i sim.PID) T { return a.regs[i].v }
+func (a *Array[T]) DirectRead(l *sim.AccessLog, i sim.PID) T {
+	return a.regs[i].DirectRead(l)
+}
 
 // DirectWrite writes register i without taking a step.
-func (a *Array[T]) DirectWrite(i sim.PID, v T) { a.regs[i].v = v }
+func (a *Array[T]) DirectWrite(l *sim.AccessLog, i sim.PID, v T) {
+	a.regs[i].DirectWrite(l, v)
+}
 
 // DirectSnapshot is the step-free face of a snapshot object. Only
 // implementations whose Update and Scan are single atomic steps can offer it;
@@ -38,17 +76,45 @@ func (a *Array[T]) DirectWrite(i sim.PID, v T) { a.regs[i].v = v }
 type DirectSnapshot[T any] interface {
 	Snapshot[T]
 	// DirectUpdate writes v into position i without taking a step.
-	DirectUpdate(i sim.PID, v T)
+	DirectUpdate(l *sim.AccessLog, i sim.PID, v T)
 	// DirectScan appends the contents of all n positions to dst and returns
 	// the extended slice; pass scratch[:0] to reuse a scan buffer.
-	DirectScan(dst []Opt[T]) []Opt[T]
+	DirectScan(l *sim.AccessLog, dst []Opt[T]) []Opt[T]
+}
+
+// cellID returns position i's identity in log l. Snapshot accesses are
+// recorded per position ("name[i]"), not per object: updates write only
+// their own position, so updates by different processes commute, while a
+// scan reads every position and conflicts with each of them — exactly the
+// dependency structure the containment argument of [1] induces.
+func (s *atomicSnapshot[T]) cellID(l *sim.AccessLog, i int) sim.ObjID {
+	if s.logRef != l {
+		if s.cellIDs == nil {
+			s.cellIDs = make([]sim.ObjID, len(s.cells))
+		}
+		for j := range s.cellIDs {
+			s.cellIDs[j] = l.Intern(fmt.Sprintf("%s[%d]", s.name, j))
+		}
+		s.logRef = l
+	}
+	return s.cellIDs[i]
 }
 
 // DirectUpdate implements DirectSnapshot.
-func (s *atomicSnapshot[T]) DirectUpdate(i sim.PID, v T) { s.cells[i] = Some(v) }
+func (s *atomicSnapshot[T]) DirectUpdate(l *sim.AccessLog, i sim.PID, v T) {
+	if l != nil {
+		l.Record(s.cellID(l, int(i)), sim.AccessWrite)
+	}
+	s.cells[i] = Some(v)
+}
 
 // DirectScan implements DirectSnapshot.
-func (s *atomicSnapshot[T]) DirectScan(dst []Opt[T]) []Opt[T] {
+func (s *atomicSnapshot[T]) DirectScan(l *sim.AccessLog, dst []Opt[T]) []Opt[T] {
+	if l != nil {
+		for j := range s.cells {
+			l.Record(s.cellID(l, j), sim.AccessRead)
+		}
+	}
 	return append(dst, s.cells...)
 }
 
@@ -61,8 +127,17 @@ func AsDirect[T any](snap Snapshot[T]) (DirectSnapshot[T], bool) {
 
 // DirectPropose is the step-free variant of ConsensusObject.Propose for the
 // machine runner: first value wins, every call returns the decision, and the
-// m-process access limit is enforced exactly as in Propose.
-func (c *ConsensusObject) DirectPropose(me sim.PID, v sim.Value) sim.Value {
+// m-process access limit is enforced exactly as in Propose. A propose both
+// reads and conditionally writes the object; it is recorded as a single
+// write, which conflicts with everything a read-plus-write would.
+func (c *ConsensusObject) DirectPropose(l *sim.AccessLog, me sim.PID, v sim.Value) sim.Value {
+	if l != nil {
+		if c.logRef != l {
+			c.oid = l.Intern(c.name)
+			c.logRef = l
+		}
+		l.Record(c.oid, sim.AccessWrite)
+	}
 	if !c.accessors.Has(me) {
 		c.accessors = c.accessors.Add(me)
 		if c.accessors.Len() > c.limit {

@@ -35,6 +35,13 @@ func None[T any]() Opt[T] { return Opt[T]{} }
 type Register[T any] struct {
 	name string
 	v    T
+
+	// oid caches the register's interned identity in logRef, so recorded
+	// runs pay the name-interning map lookup once per (object, log) pair
+	// instead of once per access. Valid only while logRef matches the log
+	// in use; see Register.logID.
+	oid    sim.ObjID
+	logRef *sim.AccessLog
 }
 
 // NewRegister returns a register initialized to T's zero value.

@@ -43,6 +43,11 @@ var _ SnapshotFactory[int] = NewAtomicSnapshot[int]
 type atomicSnapshot[T any] struct {
 	name  string
 	cells []Opt[T]
+
+	// cellIDs caches the per-position interned identities in logRef; see
+	// atomicSnapshot.cellID in direct.go.
+	cellIDs []sim.ObjID
+	logRef  *sim.AccessLog
 }
 
 func (s *atomicSnapshot[T]) N() int { return len(s.cells) }

@@ -1,0 +1,181 @@
+package sim
+
+import "strings"
+
+// Shared-object access observability: the seam the DPOR explorer
+// (internal/explore) is built on. The step-machine engine performs exactly
+// one shared-object operation per granted step; an AccessLog, when attached
+// to a run through Config.AccessLog, records which objects that operation
+// read and wrote. Two steps of different processes commute exactly when
+// their access sets do not conflict (no common object with at least one
+// write), which is the independence relation dynamic partial-order
+// reduction prunes by.
+//
+// The log is strictly optional: a nil *AccessLog is the no-op default, every
+// method is nil-safe, and the accessors in internal/memory guard their
+// recording behind a single nil check — the lab/benchmark hot paths run with
+// instrumentation compiled in but disabled at zero allocation cost
+// (asserted by the zero-alloc tests in internal/sim and internal/memory).
+
+// AccessKind distinguishes reads from writes of a shared object.
+type AccessKind uint8
+
+const (
+	// AccessRead is a read of a shared object.
+	AccessRead AccessKind = iota
+	// AccessWrite is a write (or an atomic read-modify-write, which
+	// conflicts like a write) of a shared object.
+	AccessWrite
+)
+
+// String implements fmt.Stringer ("R"/"W").
+func (k AccessKind) String() string {
+	if k == AccessWrite {
+		return "W"
+	}
+	return "R"
+}
+
+// ObjID is a log-local shared-object identity, interned from the object's
+// name. IDs are assigned from 1; 0 is "never interned". Because interning is
+// by name and a log's intern table survives Reset, the same object name maps
+// to the same ID across every run recorded into one log.
+type ObjID int32
+
+// Access is one shared-object access: which object, read or write.
+type Access struct {
+	Obj  ObjID
+	Kind AccessKind
+}
+
+// stepSpan delimits one step's accesses inside the log buffer.
+type stepSpan struct {
+	p          PID
+	start, end int32
+}
+
+// AccessLog records, per granted step, the shared-object accesses that step
+// performed. The runner brackets every machine step with BeginStep/EndStep;
+// the instrumented accessors in internal/memory call Record in between.
+// Reset clears the recorded steps but keeps the name→ID intern table, so a
+// log reused across the runs of one exploration assigns stable IDs.
+type AccessLog struct {
+	ids   map[string]ObjID
+	names []string // names[id-1] is the interned name of id
+	buf   []Access
+	spans []stepSpan
+	start int32
+}
+
+// NewAccessLog returns an empty log.
+func NewAccessLog() *AccessLog {
+	return &AccessLog{ids: make(map[string]ObjID)}
+}
+
+// Intern returns the stable ID for an object name, assigning one on first
+// use. Callers must not invoke Intern on a nil log (the accessors check
+// for nil before interning).
+func (l *AccessLog) Intern(name string) ObjID {
+	if id, ok := l.ids[name]; ok {
+		return id
+	}
+	l.names = append(l.names, name)
+	id := ObjID(len(l.names))
+	l.ids[name] = id
+	return id
+}
+
+// ObjName returns the interned name of id ("?" for unknown IDs).
+func (l *AccessLog) ObjName(id ObjID) string {
+	if l == nil || id < 1 || int(id) > len(l.names) {
+		return "?"
+	}
+	return l.names[id-1]
+}
+
+// Record appends one access to the current step. Nil-safe no-op.
+func (l *AccessLog) Record(obj ObjID, kind AccessKind) {
+	if l == nil {
+		return
+	}
+	l.buf = append(l.buf, Access{Obj: obj, Kind: kind})
+}
+
+// BeginStep opens a new step span; the runner calls it immediately before
+// granting a machine step. Nil-safe no-op.
+func (l *AccessLog) BeginStep() {
+	if l == nil {
+		return
+	}
+	l.start = int32(len(l.buf))
+}
+
+// EndStep closes the current step span, attributing its accesses to p; the
+// runner calls it immediately after the machine step returns. Nil-safe
+// no-op.
+func (l *AccessLog) EndStep(p PID) {
+	if l == nil {
+		return
+	}
+	l.spans = append(l.spans, stepSpan{p: p, start: l.start, end: int32(len(l.buf))})
+}
+
+// Reset clears the recorded steps, keeping the intern table (and hence ID
+// stability) for the next run. Nil-safe no-op.
+func (l *AccessLog) Reset() {
+	if l == nil {
+		return
+	}
+	l.buf = l.buf[:0]
+	l.spans = l.spans[:0]
+	l.start = 0
+}
+
+// Steps returns the number of recorded steps (0 on a nil log).
+func (l *AccessLog) Steps() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.spans)
+}
+
+// Step returns the recorded process and access set of step i (0-based). The
+// returned slice aliases the log's buffer: copy it before the next Reset if
+// it must outlive the run.
+func (l *AccessLog) Step(i int) (PID, []Access) {
+	s := l.spans[i]
+	return s.p, l.buf[s.start:s.end]
+}
+
+// AccessString renders an access set for traces, e.g. "R(D) W(A[1])".
+func (l *AccessLog) AccessString(as []Access) string {
+	if len(as) == 0 {
+		return "-"
+	}
+	var b strings.Builder
+	for i, a := range as {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(a.Kind.String())
+		b.WriteByte('(')
+		b.WriteString(l.ObjName(a.Obj))
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+// AccessesConflict reports whether two access sets conflict: some object
+// appears in both with at least one write. Steps of different processes
+// with non-conflicting access sets commute — executing them in either order
+// yields the same shared state and the same local results.
+func AccessesConflict(a, b []Access) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x.Obj == y.Obj && (x.Kind == AccessWrite || y.Kind == AccessWrite) {
+				return true
+			}
+		}
+	}
+	return false
+}

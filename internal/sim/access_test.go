@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestAccessLogStepsAndSpans(t *testing.T) {
+	l := NewAccessLog()
+	x, y := l.Intern("x"), l.Intern("y")
+	if x == y || x == 0 || y == 0 {
+		t.Fatalf("bad interning: x=%d y=%d", x, y)
+	}
+	if l.Intern("x") != x {
+		t.Fatal("re-interning x changed its ID")
+	}
+
+	l.BeginStep()
+	l.Record(x, AccessRead)
+	l.Record(y, AccessWrite)
+	l.EndStep(2)
+	l.BeginStep()
+	l.EndStep(0) // a step with no shared access (detector query, yield)
+	l.BeginStep()
+	l.Record(x, AccessWrite)
+	l.EndStep(1)
+
+	if l.Steps() != 3 {
+		t.Fatalf("Steps = %d, want 3", l.Steps())
+	}
+	p, accs := l.Step(0)
+	if p != 2 || !reflect.DeepEqual(accs, []Access{{x, AccessRead}, {y, AccessWrite}}) {
+		t.Fatalf("step 0 = %v %v", p, accs)
+	}
+	if _, accs := l.Step(1); len(accs) != 0 {
+		t.Fatalf("empty step recorded %v", accs)
+	}
+	if got := l.AccessString(accs[:0]); got != "-" {
+		t.Fatalf("empty AccessString = %q", got)
+	}
+	_, a0 := l.Step(0)
+	if got := l.AccessString(a0); got != "R(x) W(y)" {
+		t.Fatalf("AccessString = %q", got)
+	}
+
+	// Reset keeps the intern table (ID stability across runs of one log).
+	l.Reset()
+	if l.Steps() != 0 {
+		t.Fatal("Reset kept steps")
+	}
+	if l.Intern("y") != y {
+		t.Fatal("Reset dropped the intern table")
+	}
+	if l.ObjName(y) != "y" || l.ObjName(0) != "?" {
+		t.Fatalf("ObjName: %q %q", l.ObjName(y), l.ObjName(0))
+	}
+}
+
+func TestAccessLogNilSafe(t *testing.T) {
+	var l *AccessLog
+	l.BeginStep()
+	l.Record(1, AccessWrite)
+	l.EndStep(0)
+	l.Reset()
+	if l.Steps() != 0 {
+		t.Fatal("nil log has steps")
+	}
+	if l.ObjName(1) != "?" {
+		t.Fatal("nil ObjName")
+	}
+}
+
+func TestAccessesConflict(t *testing.T) {
+	r1 := []Access{{1, AccessRead}}
+	r1b := []Access{{1, AccessRead}}
+	w1 := []Access{{1, AccessWrite}}
+	w2 := []Access{{2, AccessWrite}}
+	scan := []Access{{1, AccessRead}, {2, AccessRead}}
+	cases := []struct {
+		a, b []Access
+		want bool
+	}{
+		{r1, r1b, false},   // read-read never conflicts
+		{r1, w1, true},     // read-write on the same object
+		{w1, w1, true},     // write-write on the same object
+		{w1, w2, false},    // writes to different objects
+		{scan, w2, true},   // scan covers object 2
+		{scan, nil, false}, // empty set conflicts with nothing
+	}
+	for i, c := range cases {
+		if got := AccessesConflict(c.a, c.b); got != c.want {
+			t.Errorf("case %d: AccessesConflict(%v, %v) = %v", i, c.a, c.b, got)
+		}
+		if got := AccessesConflict(c.b, c.a); got != c.want {
+			t.Errorf("case %d (sym): = %v", i, got)
+		}
+	}
+}
+
+// TestRunMachinesRecordsSpans: the runner brackets every machine step, so
+// span count equals Report.Steps and span owners match the granted PIDs.
+func TestRunMachinesRecordsSpans(t *testing.T) {
+	log := NewAccessLog()
+	rep, err := RunMachines(Config{
+		Pattern:   FailFree(2),
+		Schedule:  RoundRobin(),
+		AccessLog: log,
+	}, []StepMachine{
+		&countdownMachine{steps: 3, val: 1, decides: true},
+		&countdownMachine{steps: 5, val: 2, decides: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accesses != log {
+		t.Fatal("Report.Accesses is not the configured log")
+	}
+	if int64(log.Steps()) != rep.Steps {
+		t.Fatalf("log has %d steps, report %d", log.Steps(), rep.Steps)
+	}
+	var byPID [2]int64
+	for i := 0; i < log.Steps(); i++ {
+		p, _ := log.Step(i)
+		byPID[p]++
+	}
+	if byPID[0] != rep.StepsBy[0] || byPID[1] != rep.StepsBy[1] {
+		t.Fatalf("span owners %v, StepsBy %v", byPID, rep.StepsBy)
+	}
+}

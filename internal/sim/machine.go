@@ -37,6 +37,11 @@ type MachineContext struct {
 	ID PID
 	// N is the total number of processes in the system.
 	N int
+	// Log is the run's access log (nil when the run is not recorded). A
+	// machine must hand it to every Direct* accessor it calls, so the
+	// step's shared-object access set is observable; with a nil log the
+	// accessors are no-ops and cost one branch.
+	Log *AccessLog
 }
 
 // StepMachine is a process automaton in resumable form: where a Body blocks
@@ -97,9 +102,10 @@ func RunMachines(cfg Config, machines []StepMachine) (*Report, error) {
 		Decided:   make(map[PID]Value),
 		DecidedAt: make(map[PID]Time),
 		StepsBy:   make([]int64, n),
+		Accesses:  cfg.AccessLog,
 	}
 	for i := range machines {
-		machines[i].Init(MachineContext{ID: PID(i), N: n})
+		machines[i].Init(MachineContext{ID: PID(i), N: n, Log: cfg.AccessLog})
 	}
 
 	// crashLive marks every still-live machine crashed — the machine-world
@@ -143,7 +149,9 @@ func RunMachines(cfg Config, machines []StepMachine) (*Report, error) {
 			panic(fmt.Sprintf("sim: schedule chose %v not in enabled %v", pid, enabled))
 		}
 		t = next
+		cfg.AccessLog.BeginStep()
 		status := machines[pid].Step(t)
+		cfg.AccessLog.EndStep(pid)
 		rep.Steps++
 		rep.StepsBy[pid]++
 		if cfg.Tracer != nil {
@@ -210,7 +218,7 @@ func RunTaskMachines(cfg Config, tasks []MachineTaskSet) (*Report, error) {
 		}
 		taskIdx[i] = make([]int, len(tasks[i]))
 		for k, m := range tasks[i] {
-			m.Init(MachineContext{ID: PID(i), N: n})
+			m.Init(MachineContext{ID: PID(i), N: n, Log: cfg.AccessLog})
 			taskIdx[i][k] = len(slots)
 			slots = append(slots, slot{pid: PID(i), m: m, state: machLive})
 		}
@@ -220,6 +228,7 @@ func RunTaskMachines(cfg Config, tasks []MachineTaskSet) (*Report, error) {
 		Decided:   make(map[PID]Value),
 		DecidedAt: make(map[PID]Time),
 		StepsBy:   make([]int64, n),
+		Accesses:  cfg.AccessLog,
 	}
 	rotate := make([]int, n) // last-granted task index per process
 
@@ -289,7 +298,9 @@ func RunTaskMachines(cfg Config, tasks []MachineTaskSet) (*Report, error) {
 		rotate[pid] = chosen
 		s := &slots[procTasks[chosen]]
 		t = next
+		cfg.AccessLog.BeginStep()
 		status := s.m.Step(t)
+		cfg.AccessLog.EndStep(pid)
 		rep.Steps++
 		rep.StepsBy[pid]++
 		if cfg.Tracer != nil {

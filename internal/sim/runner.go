@@ -37,6 +37,11 @@ type Config struct {
 	// case. Used by adversary experiments that stop once they have forced
 	// enough behaviour.
 	StopWhen func(t Time) bool
+	// AccessLog, if non-nil, records the shared-object accesses of every
+	// granted step. Only the step-machine runners (RunMachines,
+	// RunTaskMachines) record: their machines route every operation through
+	// the instrumented Direct* accessors. The goroutine runner ignores it.
+	AccessLog *AccessLog
 }
 
 // DefaultBudget is the step budget used when Config.Budget is zero.
@@ -60,6 +65,12 @@ type Report struct {
 	Stopped bool
 	// BudgetExhausted reports that the budget ran out with live processes.
 	BudgetExhausted bool
+	// Accesses is the run's access log when Config.AccessLog was set (nil
+	// otherwise): per-step shared-object access sets, aligned with the grant
+	// order. It is the same log the caller passed in, surfaced here so
+	// consumers that only see the Report (replay tracing, dependency
+	// analysis) can reach it.
+	Accesses *AccessLog
 }
 
 // DecidedValues returns the set of distinct decision values in the report,
