@@ -22,20 +22,22 @@ import (
 func runExplore(args []string) {
 	fs := flag.NewFlagSet("explore", flag.ExitOnError)
 	var (
-		system     = fs.String("system", "fig1", "system under exploration: "+strings.Join(explore.SystemNames(), "|"))
-		n          = fs.Int("n", 3, "number of processes (2..4)")
-		f          = fs.Int("f", 0, "resilience for fig2 (default n-1)")
-		dpor       = fs.Bool("dpor", true, "use dynamic partial-order reduction (default); false selects the legacy block enumerator")
-		maxDepth   = fs.Int("max-depth", 0, "DPOR branch-depth horizon (0 = full depth, i.e. the step budget; intractable for most systems beyond n=2)")
-		maxRuns    = fs.Int64("max-runs", 0, "cap runs per configuration, 0 = unlimited (DPOR; hitting it voids exhaustiveness and exits 3)")
-		blocks     = fs.Int("blocks", 3, "legacy engine: max adversarial blocks per schedule (context-switch bound)")
-		blockLen   = fs.Int("block", 24, "legacy engine: max steps per adversarial block")
-		budget     = fs.Int64("budget", 4096, "step budget per run")
-		crashTimes = fs.String("crash-times", "0,3", "crash-time grid, comma-separated")
-		sym        = fs.Bool("sym", false, "collapse crash sets up to process renaming (quick-scan heuristic, not a sound reduction)")
-		workers    = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		maxViol    = fs.Int("max-violations", 4, "stop after this many distinct violations")
-		outDir     = fs.String("out", ".", "directory for counterexample artifacts")
+		system       = fs.String("system", "fig1", "system under exploration: "+strings.Join(explore.SystemNames(), "|"))
+		n            = fs.Int("n", 3, "number of processes (2..4)")
+		f            = fs.Int("f", 0, "resilience for fig2 (default n-1)")
+		dpor         = fs.Bool("dpor", true, "use dynamic partial-order reduction (default); false selects the legacy block enumerator")
+		maxDepth     = fs.Int("max-depth", 0, "DPOR branch-depth horizon (0 = full depth, i.e. the step budget; intractable for most systems beyond n=2)")
+		maxRuns      = fs.Int64("max-runs", 0, "cap runs per configuration, 0 = unlimited (DPOR; hitting it voids exhaustiveness and exits 3)")
+		blocks       = fs.Int("blocks", 3, "legacy engine: max adversarial blocks per schedule (context-switch bound)")
+		blockLen     = fs.Int("block", 24, "legacy engine: max steps per adversarial block")
+		budget       = fs.Int64("budget", 4096, "step budget per run")
+		crashTimes   = fs.String("crash-times", "0,3", "crash-time grid, comma-separated")
+		switchBudget = fs.Int("switch-budget", 0, "max pre-stabilization output switches per detector history (0 = stable-from-0 histories only)")
+		flipTimes    = fs.String("flip-times", "2,14", "flip-time grid for -switch-budget > 0, comma-separated")
+		sym          = fs.Bool("sym", false, "collapse crash sets up to process renaming (quick-scan heuristic, not a sound reduction)")
+		workers      = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		maxViol      = fs.Int("max-violations", 4, "stop after this many distinct violations")
+		outDir       = fs.String("out", ".", "directory for counterexample artifacts")
 	)
 	_ = fs.Parse(args)
 	validatePool(*workers, 1)
@@ -47,6 +49,19 @@ func runExplore(args []string) {
 	}
 	if *maxDepth < 0 || *maxRuns < 0 {
 		log.Fatalf("-max-depth and -max-runs must be non-negative (got %d, %d)", *maxDepth, *maxRuns)
+	}
+	if *switchBudget < 0 {
+		log.Fatalf("-switch-budget must be >= 0, got %d", *switchBudget)
+	}
+	if *switchBudget > 0 && !*dpor {
+		// The block enumerator honors flip schedules soundly, but a
+		// flip-gated witness needs at least four preemption blocks
+		// (interleaved converge, the flip observer's solo run, the laggard's
+		// decision) — beyond any affordable -blocks bound, so its unstable
+		// sweep would be vacuously clean. Refusing the combination keeps the
+		// coverage claim honest; the differential suite compares the engines
+		// at a raised block bound instead.
+		log.Fatal("-switch-budget > 0 requires the DPOR engine: the legacy enumerator's context-switch bound cannot reach flip-straddling witnesses (drop -dpor=false)")
 	}
 	if *maxViol <= 0 {
 		log.Fatalf("-max-violations must be >= 1, got %d", *maxViol)
@@ -70,6 +85,17 @@ func runExplore(args []string) {
 	for i, t := range grid {
 		times[i] = sim.Time(t)
 	}
+	fgrid, err := cli.ParseTimes("-flip-times", *flipTimes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	flips := make([]sim.Time, len(fgrid))
+	for i, t := range fgrid {
+		if t < 2 {
+			log.Fatalf("-flip-times entries must be >= 2 (a phase ending at time %d covers no step: the first step runs at t=1, and a phase's output applies to t < its end time), got %d", t, t)
+		}
+		flips[i] = sim.Time(t)
+	}
 	engine := explore.EngineDPOR
 	if !*dpor {
 		engine = explore.EngineEnum
@@ -85,12 +111,14 @@ func runExplore(args []string) {
 		Budget:        *budget,
 		MaxFaults:     ff, // restricts the explored environment to E_f
 		CrashTimes:    times,
+		SwitchBudget:  *switchBudget,
+		FlipTimes:     flips,
 		Symmetry:      *sym,
 		Workers:       *workers,
 		MaxViolations: *maxViol,
 	})
-	fmt.Printf("explored %s (n=%d, f=%d, engine=%s): %d configurations, %d schedules executed, %d pruned as redundant, longest run %d steps",
-		res.System, *n, ff, res.Engine, res.Configs, res.Runs, res.Pruned, res.MaxSteps)
+	fmt.Printf("explored %s (n=%d, f=%d, engine=%s, switch-budget=%d): %d configurations, %d schedules executed, %d pruned as redundant, longest run %d steps",
+		res.System, *n, ff, res.Engine, *switchBudget, res.Configs, res.Runs, res.Pruned, res.MaxSteps)
 	if res.SettledRuns > 0 {
 		fmt.Printf(", %d settled", res.SettledRuns)
 	}
@@ -117,6 +145,26 @@ func runExplore(args []string) {
 	os.Exit(1)
 }
 
+// nextFlipOutput names what the history switches to at the given boundary:
+// the next phase's output, or the stable set after the last flip.
+func nextFlipOutput(a *explore.Artifact, until int64) string {
+	for _, f := range a.OracleFlips {
+		if f.Until > until {
+			return pidSet(f.Out).String()
+		}
+	}
+	return "stable " + pidSet(a.OracleStable).String()
+}
+
+// pidSet converts an artifact's 0-based PID list to a process set.
+func pidSet(pids []int) sim.Set {
+	set := sim.EmptySet
+	for _, p := range pids {
+		set = set.Add(sim.PID(p))
+	}
+	return set
+}
+
 // runReplay is the `fdlab replay` subcommand: it re-executes a
 // counterexample artifact deterministically and reports whether the
 // recorded violation reproduced.
@@ -139,6 +187,9 @@ func runReplay(args []string) {
 	}
 	fmt.Printf("replaying %s: system %s n=%d f=%d, oracle %s, %d scheduled steps, budget %d\n",
 		*in, a.System, a.N, a.F, a.OracleName, len(a.Schedule), a.Budget)
+	for _, f := range a.OracleFlips {
+		fmt.Printf("detector flip: output %v until t=%d, then %s\n", pidSet(f.Out), f.Until, nextFlipOutput(a, f.Until))
+	}
 	fmt.Printf("recorded violation (%s): %s\n", a.Property, a.Violation)
 
 	// Grants are buffered and printed after the run: a step's access set is

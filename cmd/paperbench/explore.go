@@ -10,8 +10,10 @@ import (
 // runExploreSuite is `paperbench -explore`: the standard bounded-exhaustive
 // sweep over the real protocols at n ≤ 3 (explore.DefaultSweep), one table
 // row per system. CI's explore-smoke job runs exactly this and fails the
-// build on any violation.
-func runExploreSuite(workers int) error {
+// build on any violation. switchBudget > 0 additionally enumerates, per
+// detector history, every schedule of at most that many pre-stabilization
+// output switches (the unstable-history dimension; see explore.Config).
+func runExploreSuite(workers, switchBudget int) error {
 	w := newTableWriter(os.Stdout)
 	w.setHeader("system", "n", "f", "engine", "configs", "runs", "pruned", "max-steps", "settled", "violations", "ms")
 	total := 0
@@ -19,6 +21,7 @@ func runExploreSuite(workers int) error {
 	var violations []*explore.Violation
 	for _, cfg := range explore.DefaultSweep() {
 		cfg.Workers = workers
+		cfg.SwitchBudget = switchBudget
 		res := explore.Explore(cfg)
 		w.addRow(res.System, cfg.System.N(), cfg.System.MaxFaults(), res.Engine, res.Configs, res.Runs,
 			res.Pruned, res.MaxSteps, res.SettledRuns, len(res.Violations), res.ElapsedMS)

@@ -62,16 +62,17 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("paperbench: ")
 	var (
-		runFilter   = flag.String("run", "", "run one legacy experiment (E1..E11) or one scenario family")
-		seeds       = flag.Int("seeds", 3, "seeds per configuration")
-		workers     = flag.Int("workers", 0, "worker pool size for the scenario matrix (0 = GOMAXPROCS)")
-		jsonPath    = flag.String("json", "", "write the aggregate matrix report to this file as JSON")
-		fingerprint = flag.Bool("fingerprint", false, "print the deterministic result hash of the matrix run")
-		list        = flag.Bool("list", false, "list scenario families and exit")
-		tables      = flag.Bool("tables", false, "run the legacy per-theorem tables E1..E11")
-		benchJSON   = flag.String("bench-json", "", "measure the benchmark suite and write the JSON report to this file")
-		exploreRun  = flag.Bool("explore", false, "run the bounded-exhaustive schedule-space sweep (internal/explore) and exit")
-		legacy      = flag.Bool("legacy-runner", false, "drive simulations with the goroutine-per-process engine instead of the step-machine engine")
+		runFilter    = flag.String("run", "", "run one legacy experiment (E1..E11) or one scenario family")
+		seeds        = flag.Int("seeds", 3, "seeds per configuration")
+		workers      = flag.Int("workers", 0, "worker pool size for the scenario matrix (0 = GOMAXPROCS)")
+		jsonPath     = flag.String("json", "", "write the aggregate matrix report to this file as JSON")
+		fingerprint  = flag.Bool("fingerprint", false, "print the deterministic result hash of the matrix run")
+		list         = flag.Bool("list", false, "list scenario families and exit")
+		tables       = flag.Bool("tables", false, "run the legacy per-theorem tables E1..E11")
+		benchJSON    = flag.String("bench-json", "", "measure the benchmark suite and write the JSON report to this file")
+		exploreRun   = flag.Bool("explore", false, "run the bounded-exhaustive schedule-space sweep (internal/explore) and exit")
+		switchBudget = flag.Int("switch-budget", 0, "with -explore: max pre-stabilization detector output switches per history (0 = stable-from-0 histories, the standard suite)")
+		legacy       = flag.Bool("legacy-runner", false, "drive simulations with the goroutine-per-process engine instead of the step-machine engine")
 	)
 	flag.Parse()
 	// Reject pool settings that would silently produce empty or hung
@@ -81,11 +82,17 @@ func main() {
 	}
 	weakestfd.SetLegacyRunner(*legacy)
 
+	if *switchBudget < 0 {
+		log.Fatal("-switch-budget must be >= 0")
+	}
+	if *switchBudget > 0 && !*exploreRun {
+		log.Fatal("-switch-budget applies only to -explore")
+	}
 	if *exploreRun {
 		if *legacy {
 			log.Fatal("-explore drives the step-machine engine directly and cannot run on the goroutine engine; drop -legacy-runner")
 		}
-		if err := runExploreSuite(*workers); err != nil {
+		if err := runExploreSuite(*workers, *switchBudget); err != nil {
 			log.Fatal(err)
 		}
 		return

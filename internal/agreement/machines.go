@@ -31,6 +31,7 @@ type omegaConsensusMachine struct {
 	r        int
 	conv     converge.Machine
 	log      *sim.AccessLog
+	seam     *sim.QuerySeam
 	pc       uint8
 	decision sim.Value
 }
@@ -44,7 +45,8 @@ func (c *OmegaConsensus) Machine(input sim.Value) sim.StepMachine {
 func (m *omegaConsensusMachine) Init(ctx sim.MachineContext) {
 	m.me = ctx.ID
 	m.log = ctx.Log
-	m.conv.Bind(ctx.ID, ctx.Log)
+	m.seam = ctx.Queries
+	m.conv.Bind(ctx)
 	m.r = 1
 	m.pc = ocReadD
 }
@@ -61,7 +63,7 @@ func (m *omegaConsensusMachine) Step(t sim.Time) sim.MachineStatus {
 		}
 		m.pc = ocQuery
 	case ocQuery:
-		if fd.QueryAt[sim.PID](c.omega, m.me, t) != m.me {
+		if fd.QueryAt[sim.PID](m.seam, c.omega, m.me, t) != m.me {
 			m.pc = ocReadD // not the leader: poll again
 		} else {
 			m.pc = ocLastRead
@@ -120,6 +122,7 @@ type omegaNSetAgreementMachine struct {
 	adopted  bool
 	conv     converge.Machine
 	log      *sim.AccessLog
+	seam     *sim.QuerySeam
 	pc       uint8
 	decision sim.Value
 }
@@ -133,7 +136,8 @@ func (a *OmegaNSetAgreement) Machine(input sim.Value) sim.StepMachine {
 func (m *omegaNSetAgreementMachine) Init(ctx sim.MachineContext) {
 	m.me = ctx.ID
 	m.log = ctx.Log
-	m.conv.Bind(ctx.ID, ctx.Log)
+	m.seam = ctx.Queries
+	m.conv.Bind(ctx)
 	m.r = 1
 	m.pc = onReadD
 }
@@ -152,7 +156,7 @@ func (m *omegaNSetAgreementMachine) Step(t sim.Time) sim.MachineStatus {
 		m.adopted = false
 		m.pc = onQuery
 	case onQuery:
-		m.l = fd.QueryAt[sim.Set](a.omegaN, m.me, t)
+		m.l = fd.QueryAt[sim.Set](m.seam, a.omegaN, m.me, t)
 		if m.l.Has(m.me) {
 			m.pc = onAnnWrite
 		} else if m.rest = m.l; m.rest.IsEmpty() {
@@ -235,7 +239,7 @@ func (a *AsyncAttempt) Machine(input sim.Value) sim.StepMachine {
 func (m *asyncAttemptMachine) Init(ctx sim.MachineContext) {
 	m.me = ctx.ID
 	m.log = ctx.Log
-	m.conv.Bind(ctx.ID, ctx.Log)
+	m.conv.Bind(ctx)
 	m.r = 1
 	m.pc = aaReadD
 }
@@ -300,6 +304,7 @@ type boostedMachine struct {
 	adopted  bool
 	conv     converge.Machine
 	log      *sim.AccessLog
+	seam     *sim.QuerySeam
 	pc       uint8
 	decision sim.Value
 }
@@ -313,7 +318,8 @@ func (b *BoostedConsensus) Machine(input sim.Value) sim.StepMachine {
 func (m *boostedMachine) Init(ctx sim.MachineContext) {
 	m.me = ctx.ID
 	m.log = ctx.Log
-	m.conv.Bind(ctx.ID, ctx.Log)
+	m.seam = ctx.Queries
+	m.conv.Bind(ctx)
 	m.r = 1
 	m.pc = bReadD
 }
@@ -332,7 +338,7 @@ func (m *boostedMachine) Step(t sim.Time) sim.MachineStatus {
 		m.adopted = false
 		m.pc = bQuery
 	case bQuery:
-		m.l = fd.QueryAt[sim.Set](b.omegaN, m.me, t)
+		m.l = fd.QueryAt[sim.Set](m.seam, b.omegaN, m.me, t)
 		if m.l.Has(m.me) {
 			m.pc = bPropose
 		} else if m.rest = m.l; m.rest.IsEmpty() {

@@ -45,9 +45,10 @@ type Machine struct {
 	Adopt func(in sim.Value, smallest ValueSet) sim.Value
 }
 
-// Bind fixes the machine's process identity and the run's access log (nil
-// when the run is not recorded); call once from StepMachine.Init.
-func (m *Machine) Bind(me sim.PID, log *sim.AccessLog) { m.me, m.log = me, log }
+// Bind fixes the machine's process identity and the run's instrumentation
+// (the access log; nil when the run is not recorded) from the enclosing
+// automaton's context; call once from StepMachine.Init.
+func (m *Machine) Bind(ctx sim.MachineContext) { m.me, m.log = ctx.ID, ctx.Log }
 
 // Start prepares one Converge(inst, v) call. It returns true when the call
 // completed without any atomic step — the 0-converge case, which by

@@ -64,7 +64,13 @@ type fig1Machine struct {
 	stable *memory.Register[bool]
 	conv   converge.Machine
 	log    *sim.AccessLog
+	seam   *sim.QuerySeam
 	pc     uint8
+
+	// skipOnChange is the MutSkipOnChange mutation hook: a re-query that
+	// observes a detector change skips ahead two rounds instead of writing
+	// Stable[r]. Dead code under stable-from-0 histories (see mutant.go).
+	skipOnChange bool
 
 	decision sim.Value
 }
@@ -78,7 +84,8 @@ func (g *Fig1) Machine(input sim.Value) sim.StepMachine {
 func (m *fig1Machine) Init(ctx sim.MachineContext) {
 	m.me = ctx.ID
 	m.log = ctx.Log
-	m.conv.Bind(ctx.ID, ctx.Log)
+	m.seam = ctx.Queries
+	m.conv.Bind(ctx)
 	m.r = 1
 	m.pc = f1ReadD
 }
@@ -109,7 +116,7 @@ func (m *fig1Machine) Step(t sim.Time) sim.MachineStatus {
 		m.decision = m.v
 		return sim.MachineDecided
 	case f1QueryU:
-		m.u = fd.QueryAt[sim.Set](g.upsilon, m.me, t)
+		m.u = fd.QueryAt[sim.Set](m.seam, g.upsilon, m.me, t)
 		m.dr, m.stable = g.rounds.at(m.r)
 		m.k = 1
 		m.pc = f1CycleReadD
@@ -153,8 +160,16 @@ func (m *fig1Machine) Step(t sim.Time) sim.MachineStatus {
 		m.dr.DirectWrite(m.log, memory.Some(m.v))
 		m.pc = f1LeaveReadDr
 	case f1ReQuery:
-		if u2 := fd.QueryAt[sim.Set](g.upsilon, m.me, t); u2 != m.u {
-			m.pc = f1StableWrite
+		if u2 := fd.QueryAt[sim.Set](m.seam, g.upsilon, m.me, t); u2 != m.u {
+			if m.skipOnChange {
+				// MutSkipOnChange: treat the change as "this round is stale"
+				// and fast-forward past the next round's converge instead of
+				// publishing Stable[r] and adopting D[r].
+				m.r += 2
+				m.pc = f1ReadD
+			} else {
+				m.pc = f1StableWrite
+			}
 		} else {
 			m.k++
 			m.pc = f1CycleReadD
@@ -211,6 +226,7 @@ type fig2Machine struct {
 	scan   []memory.Opt[sim.Value]
 	conv   converge.Machine
 	log    *sim.AccessLog
+	seam   *sim.QuerySeam
 	pc     uint8
 
 	decision sim.Value
@@ -225,7 +241,8 @@ func (g *Fig2) Machine(input sim.Value) sim.StepMachine {
 func (m *fig2Machine) Init(ctx sim.MachineContext) {
 	m.me = ctx.ID
 	m.log = ctx.Log
-	m.conv.Bind(ctx.ID, ctx.Log)
+	m.seam = ctx.Queries
+	m.conv.Bind(ctx)
 	m.r = 1
 	m.pc = f2ReadD
 }
@@ -256,7 +273,7 @@ func (m *fig2Machine) Step(t sim.Time) sim.MachineStatus {
 		m.decision = m.v
 		return sim.MachineDecided
 	case f2QueryU:
-		m.u = fd.QueryAt[sim.Set](g.upsilon, m.me, t)
+		m.u = fd.QueryAt[sim.Set](m.seam, g.upsilon, m.me, t)
 		m.dr, m.stable = g.rounds.at(m.r)
 		m.k = 1
 		m.pc = f2CycleReadD
@@ -322,7 +339,7 @@ func (m *fig2Machine) Step(t sim.Time) sim.MachineStatus {
 			m.pc = f2WaitQuery
 		}
 	case f2WaitQuery:
-		if u2 := fd.QueryAt[sim.Set](g.upsilon, m.me, t); u2 != m.u {
+		if u2 := fd.QueryAt[sim.Set](m.seam, g.upsilon, m.me, t); u2 != m.u {
 			m.pc = f2StableWrite
 		} else {
 			m.pc = f2SnapScan
@@ -340,7 +357,7 @@ func (m *fig2Machine) Step(t sim.Time) sim.MachineStatus {
 		m.dr.DirectWrite(m.log, memory.Some(m.v))
 		m.pc = f2LeaveReadDr
 	case f2ReQuery:
-		if u2 := fd.QueryAt[sim.Set](g.upsilon, m.me, t); u2 != m.u {
+		if u2 := fd.QueryAt[sim.Set](m.seam, g.upsilon, m.me, t); u2 != m.u {
 			m.pc = f2StableWrite
 		} else {
 			m.k++
@@ -400,6 +417,7 @@ type extractionMachine struct {
 	sawB    bool
 	j       int
 	log     *sim.AccessLog
+	seam    *sim.QuerySeam
 	pc      uint8
 }
 
@@ -412,6 +430,7 @@ func (e *Extraction) Machine() sim.StepMachine {
 func (m *extractionMachine) Init(ctx sim.MachineContext) {
 	m.me = ctx.ID
 	m.log = ctx.Log
+	m.seam = ctx.Queries
 	m.full = sim.FullSet(m.e.n)
 	m.last = make([]int64, m.e.n)
 	m.fresh = make([]int, m.e.n)
@@ -453,7 +472,7 @@ func (m *extractionMachine) Step(t sim.Time) sim.MachineStatus {
 	e := m.e
 	switch m.pc {
 	case exInitQuery:
-		m.d = e.d.Value(m.me, t)
+		m.d = m.seam.Query(e.d, m.me, t)
 		m.ts++
 		m.pc = exInitWrite
 	case exInitWrite:
@@ -477,7 +496,7 @@ func (m *extractionMachine) Step(t sim.Time) sim.MachineStatus {
 			m.pc = exD2Query
 		}
 	case exD2Query:
-		m.d2 = e.d.Value(m.me, t)
+		m.d2 = m.seam.Query(e.d, m.me, t)
 		m.ts++
 		m.pc = exD2Write
 	case exD2Write:
@@ -550,7 +569,7 @@ func (m *extractionMachine) Step(t sim.Time) sim.MachineStatus {
 		m.sSet = true
 		m.pc = exChangedRead
 	case exExitQuery:
-		m.d = e.d.Value(m.me, t)
+		m.d = m.seam.Query(e.d, m.me, t)
 		m.ts++
 		m.pc = exExitWrite
 	case exExitWrite:

@@ -27,6 +27,24 @@ const (
 	// more than n−1 distinct values. Random schedules essentially never
 	// produce that interleaving, which is exactly why the explorer exists.
 	MutWrongAdopt
+	// MutSkipOnChange breaks the detector-change escape: a gladiator whose
+	// re-query observes a different Υ output skips ahead two rounds with its
+	// current value instead of writing Stable[r] and adopting D[r]. The
+	// mutation is *provably dead code under every history that is stable
+	// from time 0*: both query sites of a round then return the identical
+	// value, the u2 != u branch never fires, and the mutant takes exactly
+	// the unmutated protocol's steps — so no stable-from-0 exploration and
+	// no seeded-random suite (which also fixes histories at their stable
+	// value) can distinguish it. Under an unstable prefix — one
+	// pre-stabilization output switch suffices — the skipping process
+	// bypasses a round's top-level converge entirely, voiding the
+	// pass-through invariant (every process in round r updated round r's
+	// converge) that Agreement's containment argument rests on: the skipper
+	// solo-commits its stale value in a round the others never contaminate,
+	// while another process solo-commits a different value one round behind.
+	// It exists to prove the SwitchBudget dimension of the explorer pays for
+	// itself: only a schedule-controlled history flip reaches the bug.
+	MutSkipOnChange
 )
 
 // String implements fmt.Stringer.
@@ -36,6 +54,8 @@ func (m Fig1Mutation) String() string {
 		return "none"
 	case MutWrongAdopt:
 		return "wrong-adopt"
+	case MutSkipOnChange:
+		return "skip-on-change"
 	default:
 		return fmt.Sprintf("Fig1Mutation(%d)", int(m))
 	}
@@ -49,6 +69,8 @@ func (g *Fig1) MutantMachine(input sim.Value, mut Fig1Mutation) sim.StepMachine 
 	case MutNone:
 	case MutWrongAdopt:
 		m.conv.Adopt = func(in sim.Value, _ converge.ValueSet) sim.Value { return in }
+	case MutSkipOnChange:
+		m.skipOnChange = true
 	default:
 		panic(fmt.Sprintf("core: unknown Fig1Mutation %d", int(mut)))
 	}

@@ -24,10 +24,13 @@ type Artifact struct {
 	Proposals []int64 `json:"proposals,omitempty"`
 	// Crashes maps 0-based PIDs (as JSON object keys) to crash times.
 	Crashes map[string]int64 `json:"crashes,omitempty"`
-	// Oracle reconstructs the detector history: its stable set and seed.
-	OracleName   string `json:"oracle"`
-	OracleStable []int  `json:"oracle_stable"`
-	OracleSeed   int64  `json:"oracle_seed,omitempty"`
+	// Oracle reconstructs the detector history: its stable set, seed, and
+	// (schema 2) the unstable prefix — the pre-stabilization phases, each
+	// output Out while t < Until.
+	OracleName   string         `json:"oracle"`
+	OracleStable []int          `json:"oracle_stable"`
+	OracleSeed   int64          `json:"oracle_seed,omitempty"`
+	OracleFlips  []ArtifactFlip `json:"oracle_flips,omitempty"`
 	// Budget is the step cap of the run.
 	Budget int64 `json:"budget"`
 	// Schedule is the (shrunk) grant sequence; replay follows it through a
@@ -38,12 +41,25 @@ type Artifact struct {
 	Violation string `json:"violation"`
 }
 
+// ArtifactFlip is one recorded pre-stabilization phase: the history outputs
+// the set Out (0-based PIDs) while t < Until.
+type ArtifactFlip struct {
+	Until int64 `json:"until"`
+	Out   []int `json:"out"`
+}
+
 // newArtifact assembles the artifact for one shrunk violation. The recorded
 // configuration is the *witness* configuration — the shrinker may have
-// dropped crashes and shrunk the oracle relative to the discovery run.
+// dropped crashes, shrunk the oracle, and dropped or delayed history flips
+// relative to the discovery run. Artifacts without flips stay at schema 1
+// (older readers replay them unchanged); an unstable witness is schema 2.
 func newArtifact(cfg Config, run *Run, property string, w witness) *Artifact {
+	schema := 1
+	if len(w.oracle.Flips) > 0 {
+		schema = 2
+	}
 	a := &Artifact{
-		Schema:     1,
+		Schema:     schema,
 		System:     run.System,
 		N:          cfg.System.N(),
 		F:          cfg.System.MaxFaults(),
@@ -64,6 +80,13 @@ func newArtifact(cfg Config, run *Run, property string, w witness) *Artifact {
 	}
 	for _, p := range w.oracle.Stable.Members() {
 		a.OracleStable = append(a.OracleStable, int(p))
+	}
+	for _, f := range w.oracle.Flips {
+		af := ArtifactFlip{Until: int64(f.Until)}
+		for _, p := range f.Out.Members() {
+			af.Out = append(af.Out, int(p))
+		}
+		a.OracleFlips = append(a.OracleFlips, af)
 	}
 	a.Schedule = make([]int, len(w.schedule))
 	for i, p := range w.schedule {
@@ -91,8 +114,23 @@ func ReadArtifact(path string) (*Artifact, error) {
 	if err := json.Unmarshal(data, &a); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	if a.Schema != 1 {
+	if a.Schema != 1 && a.Schema != 2 {
 		return nil, fmt.Errorf("%s: unsupported artifact schema %d", path, a.Schema)
+	}
+	// The schema is the flip marker: a schema-1 file with flips would replay
+	// as a stable-from-0 history on a pre-flip reader (which drops the
+	// unknown field) and as an unstable one here — reject the divergence.
+	if a.Schema == 1 && len(a.OracleFlips) > 0 {
+		return nil, fmt.Errorf("%s: schema 1 artifact carries oracle_flips; unstable witnesses are schema 2", path)
+	}
+	if a.Schema == 2 && len(a.OracleFlips) == 0 {
+		return nil, fmt.Errorf("%s: schema 2 artifact has no oracle_flips; stable witnesses are schema 1", path)
+	}
+	// Validate the flip schedule at load time: callers print flip lines
+	// straight from a loaded artifact, assuming ascending Until and
+	// in-range outputs.
+	if _, err := a.flipPhases(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	if a.N < 2 || a.N > sim.MaxProcs {
 		return nil, fmt.Errorf("%s: n=%d out of range [2,%d]", path, a.N, sim.MaxProcs)
@@ -119,6 +157,26 @@ func (a *Artifact) pattern() (sim.Pattern, error) {
 	return sim.CrashPattern(a.N, crashes), nil
 }
 
+// flipPhases reconstructs and validates the artifact's unstable prefix —
+// the single validation path shared by ReadArtifact and Replay.
+func (a *Artifact) flipPhases() ([]FlipPhase, error) {
+	var flips []FlipPhase
+	for i, af := range a.OracleFlips {
+		var out sim.Set
+		for _, p := range af.Out {
+			if p < 0 || p >= a.N {
+				return nil, fmt.Errorf("explore: oracle_flips[%d] output pid %d out of range for n=%d", i, p, a.N)
+			}
+			out = out.Add(sim.PID(p))
+		}
+		flips = append(flips, FlipPhase{Until: sim.Time(af.Until), Out: out})
+	}
+	if err := validateFlips(flips, a.N); err != nil {
+		return nil, err
+	}
+	return flips, nil
+}
+
 // Replay rebuilds the configuration and re-executes the recorded schedule
 // through a sim.FixedSchedule on fresh state. It returns the completed run
 // and the property-check error — non-nil exactly when the recorded
@@ -143,6 +201,17 @@ func (a *Artifact) Replay(hook func(idx int, t sim.Time, enabled sim.Set, chosen
 		stable = stable.Add(sim.PID(p))
 	}
 	oracle := OracleChoice{Name: a.OracleName, Stable: stable, Seed: a.OracleSeed}
+	flips, err := a.flipPhases()
+	if err != nil {
+		return nil, nil, err
+	}
+	oracle.Flips = flips
+	// Reject an illegal stable set here with a proper error — Instantiate
+	// treats legality as an internal invariant and panics on violations.
+	if _, ok := matchOracle(sys, pattern, oracle); !ok {
+		return nil, nil, fmt.Errorf("explore: oracle stable set %v is not legal for system %s under %s",
+			stable, a.System, pattern)
+	}
 
 	prefix := make([]sim.PID, len(a.Schedule))
 	for i, p := range a.Schedule {

@@ -46,9 +46,16 @@
 // Terminating protocols at small n afford full depth (MaxDepth = budget);
 // the non-terminating extraction and the compositions use a finite horizon.
 // Reduction soundness needs step behaviour to be independent of a step's
-// global time; the explorer guarantees that by construction (stable-from-0
-// detector histories, pattern-fixed crash times, machines that use the time
-// parameter only for detector queries).
+// global time *up to what the access sets record*. Crash times are fixed by
+// the pattern, and detector queries — the one time-dependent operation —
+// are first-class accesses since PR 5: every query routes through the run's
+// query seam (sim.QuerySeam) and is recorded as a read of a virtual
+// per-history object, every pre-stabilization output switch ("flip") of an
+// unstable history is recorded as a write of that object at its global
+// time, and the step one before a flip carries a boundary-guard read, so no
+// commutation the reduction performs can move a query across a flip. With
+// stable-from-0 histories the object is never written and the search is the
+// PR-4 one, run for run.
 //
 // EngineEnum is the PR-3 enumerator, kept for differential testing: a
 // schedule is a sequence of adversarial "blocks" (block (p, ℓ) grants up to
@@ -70,28 +77,40 @@
 //
 // Detector histories. For each pattern the system enumerates the legal
 // stable outputs of its failure detector (every legal Υ/Υ^f stable set,
-// every correct Ω leader), stable from time 0: the adversary already owns
-// the schedule, and pre-stabilization noise is subsumed by exploring every
-// stable value. The timed composition consumes no oracle at all — its
-// detector is implemented from heartbeats, and the explorer checks that
-// safety survives every way the implementation can misbehave.
+// every correct Ω leader). Config.SwitchBudget adds the unstable-prefix
+// dimension the paper's lower-bound adversaries drive: for b > 0, each
+// stable value is additionally explored under every schedule of at most b
+// pre-stabilization output switches, with phase outputs drawn from the
+// detector's *range* (including maximally unhelpful values like the correct
+// set itself, legal before stabilization) and flip times from the
+// Config.FlipTimes grid. Budget 0 — the default and the standard suite —
+// keeps histories stable from time 0, which is exactly the PR-4 space. The
+// timed composition consumes no oracle at all — its detector is implemented
+// from heartbeats, and the explorer checks that safety survives every way
+// the implementation can misbehave.
 //
 // # Counterexamples
 //
 // A violated property yields the flat granted-PID sequence of the failing
 // run. The shrinker minimizes the schedule (prefix truncation, then
 // ddmin-style chunk deletion) and then the *configuration*: crashes that
-// are not load-bearing are dropped from the pattern and the oracle's stable
-// set is shrunk to the smallest legal value on which the failure survives —
-// every candidate re-replayed through sim.FixedSchedule and kept only if
+// are not load-bearing are dropped from the pattern, the oracle's stable
+// set is shrunk to the smallest legal value, and the history's flip
+// schedule is minimized (drop phases, then move each surviving flip later)
+// — every candidate re-replayed through sim.FixedSchedule and kept only if
 // the same property still fails. The result is emitted as a JSON Artifact
-// recording the witness configuration; `fdlab replay` re-executes it
-// deterministically, step for step, with an optional trace that includes
-// each step's recorded access set.
+// recording the witness configuration, flips included (schema 2 when
+// unstable); `fdlab replay` re-executes it deterministically, step for
+// step, printing the detector flip events and, with -trace, each step's
+// recorded access set — history-object reads and flip writes included.
 //
 // The package proves its own worth by mutation: internal/explore's tests
 // show both engines find and shrink an agreement violation in a fig1
 // variant with a broken converge adopt rule (core.MutWrongAdopt) that every
 // seeded-random suite in this repository misses, and find none across the
-// real protocols' standard sweep.
+// real protocols' standard sweep. The SwitchBudget dimension has its own
+// calibration mutant, fig1-skip-on-change (core.MutSkipOnChange): provably
+// correct under every stable-from-0 history — its broken branch is dead
+// code there — yet agreement-violating under a single pre-stabilization
+// output switch, so only a SwitchBudget >= 1 sweep can catch it.
 package explore

@@ -37,11 +37,18 @@ import (
 //
 // Soundness of the reduction relies on two properties of the explored
 // configurations. First, a machine's step behaviour must not depend on the
-// global time of the step, since commuting two adjacent steps shifts both
-// their times by one. The explorer guarantees this by construction —
-// detector histories are stable from time 0 (OracleChoice), crash times
+// global time of the step in any way the access sets do not capture, since
+// commuting two adjacent steps shifts both their times by one. Crash times
 // are fixed by the pattern regardless of who steps, and the protocol
-// machines use the time parameter only for detector queries. Second, the
+// machines use the time parameter only for detector queries — which the
+// query seam (sim.QuerySeam, registered by execute for every instance
+// history) makes first-class accesses of a virtual per-history object:
+// queries read it, each pre-stabilization output switch of an unstable
+// history (OracleChoice.Flips) writes it at its global time, and the step
+// one before a flip carries a boundary-guard read. Conflicts on the history
+// object therefore order every reordering that could change a query's
+// result, and stable-from-0 histories degenerate to inert reads — the PR-4
+// search, run for run. Second, the
 // checked properties must be trace-invariant — equal on every member of an
 // equivalence class — so that checking the one executed representative
 // decides the class. Properties over decisions (agreement, validity,

@@ -44,11 +44,13 @@ type toySystem struct {
 	props    []Property
 }
 
-func (s toySystem) Name() string                       { return s.name }
-func (s toySystem) N() int                             { return 2 }
-func (s toySystem) MaxFaults() int                     { return 0 }
-func (s toySystem) Oracles(sim.Pattern) []OracleChoice { return []OracleChoice{{Name: "-"}} }
-func (s toySystem) Properties() []Property             { return s.props }
+func (s toySystem) Name() string   { return s.name }
+func (s toySystem) N() int         { return 2 }
+func (s toySystem) MaxFaults() int { return 0 }
+func (s toySystem) Oracles(sim.Pattern, SwitchPlan) []OracleChoice {
+	return []OracleChoice{{Name: "-"}}
+}
+func (s toySystem) Properties() []Property { return s.props }
 
 func (s toySystem) Instantiate(sim.Pattern, OracleChoice) Instance {
 	if s.disjoint {

@@ -66,6 +66,23 @@ type Config struct {
 	// CrashTimes is the crash-time grid per faulty process. Default {0, 3}:
 	// crashed-from-the-start and a mid-protocol crash.
 	CrashTimes []sim.Time
+	// SwitchBudget bounds the pre-stabilization output switches enumerated
+	// per detector history. 0 (the default) explores only stable-from-0
+	// histories — exactly the PR-4 schedule space; b >= 1 additionally
+	// enumerates, per stable value, every schedule of at most b flips with
+	// phase outputs from the detector's range and flip times from FlipTimes.
+	// Honored by both engines: the block enumerator executes explicit
+	// schedules and makes no independence assumptions, and DPOR stays sound
+	// because the query seam records queries and flips as conflicting
+	// accesses of the history object.
+	SwitchBudget int
+	// FlipTimes is the global-time grid flips are drawn from when
+	// SwitchBudget > 0. Default {2, 14}: one flip before the protocols'
+	// first query sites (the boundary case) and one inside the first
+	// gladiator cycle's query window — after both processes' round-entry
+	// queries but before the first re-query under interleaved schedules, the
+	// region the paper's adversaries exploit.
+	FlipTimes []sim.Time
 	// Symmetry enumerates crash sets up to process renaming — a speed
 	// heuristic, not a sound reduction, because proposals are pinned to
 	// PIDs (see patternsFor). Leave false for coverage claims.
@@ -102,6 +119,16 @@ func (c Config) withDefaults() Config {
 	}
 	if len(c.CrashTimes) == 0 {
 		c.CrashTimes = []sim.Time{0, 3}
+	}
+	// FlipTimes is a set of candidate times; flipVariants builds strictly
+	// increasing phase tuples by walking it in order, and fd.NewUnstable
+	// panics on an unordered tuple — normalize rather than crash mid-sweep.
+	// Normalization runs before the default so that a grid of entirely
+	// unobservable times (all < 2) falls back to the default grid instead
+	// of silently degenerating a SwitchBudget>0 sweep to stable-from-0.
+	c.FlipTimes = sortedTimes(c.FlipTimes)
+	if c.SwitchBudget > 0 && len(c.FlipTimes) == 0 {
+		c.FlipTimes = []sim.Time{2, 14}
 	}
 	if c.MaxViolations <= 0 {
 		c.MaxViolations = 4 // a non-positive cap would stop the sweep at birth
@@ -247,9 +274,10 @@ func Explore(cfg Config) *Result {
 		pattern sim.Pattern
 		oracle  OracleChoice
 	}
+	plan := SwitchPlan{Budget: cfg.SwitchBudget, Times: cfg.FlipTimes}
 	var jobs []job
 	for _, p := range patternsFor(sys.N(), cfg.MaxFaults, cfg.CrashTimes, cfg.Symmetry) {
-		for _, o := range sys.Oracles(p) {
+		for _, o := range sys.Oracles(p, plan) {
 			jobs = append(jobs, job{pattern: p, oracle: o})
 		}
 	}
@@ -396,10 +424,21 @@ func (c *configRun) run(blocks []block) (*Run, []int) {
 
 // execute runs one simulation of sys under the given schedule on fresh
 // shared state and returns the completed Run (properties not yet checked).
-// log, when non-nil, records every step's shared-object access set.
+// log, when non-nil, records every step's shared-object access set; the
+// instance's detector histories are then registered with a query seam so
+// queries and history flips are part of those sets. An unrecorded run needs
+// no seam — flip schedules live in the oracle itself, so outputs are
+// identical either way.
 func execute(sys System, pattern sim.Pattern, oracle OracleChoice, sched sim.Schedule, budget int64, log *sim.AccessLog) *Run {
 	inst := sys.Instantiate(pattern, oracle)
 	simCfg := sim.Config{Pattern: pattern, Schedule: sched, Budget: budget, AccessLog: log}
+	if log != nil && len(inst.Histories) > 0 {
+		seam := sim.NewQuerySeam(log)
+		for _, h := range inst.Histories {
+			seam.Register(h.Name, h.H)
+		}
+		simCfg.Queries = seam
+	}
 	if inst.Observe != nil {
 		observe := inst.Observe
 		simCfg.StopWhen = func(t sim.Time) bool { observe(t); return false }

@@ -1,6 +1,8 @@
 package explore
 
 import (
+	"strings"
+
 	"weakestfd/internal/sim"
 )
 
@@ -28,6 +30,11 @@ type witness struct {
 //  3. Oracle: every legal detector history for the (possibly shrunk)
 //     pattern with a strictly smaller stable set is tried; the witness
 //     keeps the smallest on which the failure survives.
+//  4. Flips: each pre-stabilization phase of the history is tentatively
+//     dropped (stable-from-0 when none remain), and each surviving flip is
+//     moved later one grid-free step at a time — so the witness carries
+//     only load-bearing output switches, at the latest times that still
+//     fail.
 //
 // A configuration change can make more of the schedule redundant, so a
 // successful pattern/oracle shrink re-runs the schedule pass. Replays are
@@ -65,6 +72,7 @@ func shrink(cfg Config, run *Run, prop Property) witness {
 	shrinkSchedule(&w, violates)
 	changed := shrinkPattern(cfg, &w, violates)
 	changed = shrinkOracle(cfg, &w, violates) || changed
+	changed = shrinkFlips(&w, violates) || changed
 	if changed {
 		shrinkSchedule(&w, violates)
 	}
@@ -126,18 +134,19 @@ func shrinkPattern(cfg Config, w *witness, violates func(sim.Pattern, OracleChoi
 }
 
 // shrinkOracle replaces the witness oracle with a legal history whose
-// stable set is strictly smaller, while the failure survives. Returns
-// whether the oracle changed.
+// stable set is strictly smaller (keeping the witness's flip schedule),
+// while the failure survives. Returns whether the oracle changed.
 func shrinkOracle(cfg Config, w *witness, violates func(sim.Pattern, OracleChoice, []sim.PID) (string, bool)) bool {
 	changed := false
 	for {
 		progress := false
-		for _, o := range cfg.System.Oracles(w.pattern) {
+		for _, o := range cfg.System.Oracles(w.pattern, SwitchPlan{}) {
 			if o.Stable.Len() >= w.oracle.Stable.Len() {
 				continue
 			}
-			if msg, ok := violates(w.pattern, o, w.schedule); ok {
-				w.oracle, w.message = o, msg
+			cand := o.withFlips(w.oracle.Flips)
+			if msg, ok := violates(w.pattern, cand, w.schedule); ok {
+				w.oracle, w.message = cand, msg
 				progress, changed = true, true
 				break
 			}
@@ -146,6 +155,70 @@ func shrinkOracle(cfg Config, w *witness, violates func(sim.Pattern, OracleChoic
 			return changed
 		}
 	}
+}
+
+// shrinkFlips minimizes the witness history's unstable prefix: every phase
+// is tentatively dropped (a kept drop removes one output switch; dropping
+// all of them yields a stable-from-0 witness), then every surviving flip is
+// pushed later one step at a time (capped per flip) while the failure
+// survives — the canonical witness flips as rarely and as late as possible.
+// Returns whether the flip schedule changed.
+func shrinkFlips(w *witness, violates func(sim.Pattern, OracleChoice, []sim.PID) (string, bool)) bool {
+	if len(w.oracle.Flips) == 0 {
+		return false
+	}
+	base := baseOracle(w.oracle)
+	changed := false
+	// Pass 1: drop phases, first-to-last, restarting after each kept drop.
+	for {
+		progress := false
+		for i := range w.oracle.Flips {
+			trial := append([]FlipPhase(nil), w.oracle.Flips[:i]...)
+			trial = append(trial, w.oracle.Flips[i+1:]...)
+			cand := base.withFlips(trial)
+			if msg, ok := violates(w.pattern, cand, w.schedule); ok {
+				w.oracle, w.message = cand, msg
+				progress, changed = true, true
+				break
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	// Pass 2: move each remaining flip later, one step at a time.
+	const maxLater = 16 // bound the walk; the schedule pass already bounds run length
+	for i := 0; i < len(w.oracle.Flips); i++ {
+		for moved := 0; moved < maxLater; moved++ {
+			trial := append([]FlipPhase(nil), w.oracle.Flips...)
+			trial[i].Until++
+			if i+1 < len(trial) && trial[i].Until >= trial[i+1].Until {
+				break // phases must stay strictly ordered
+			}
+			cand := base.withFlips(trial)
+			msg, ok := violates(w.pattern, cand, w.schedule)
+			if !ok {
+				break
+			}
+			w.oracle, w.message, changed = cand, msg, true
+		}
+	}
+	return changed
+}
+
+// baseOracle strips a choice's flip schedule, recovering the stable-from-0
+// choice the flip variants were built from: the base name withFlips
+// remembered, with a display-name parse as the fallback for choices built
+// outside the enumeration (artifact replay).
+func baseOracle(o OracleChoice) OracleChoice {
+	if o.base != "" {
+		o.Name = o.base
+	} else if i := strings.Index(o.Name, " pre["); i >= 0 {
+		o.Name = o.Name[:i]
+	}
+	o.Flips = nil
+	o.base = ""
+	return o
 }
 
 // dropCrash returns pattern with p made correct.
@@ -160,11 +233,12 @@ func dropCrash(pattern sim.Pattern, p sim.PID) sim.Pattern {
 }
 
 // matchOracle finds the system's enumerated oracle for pattern whose stable
-// set equals o's, reporting false when o is not legal for pattern.
+// set equals o's (re-attaching o's flip schedule), reporting false when o is
+// not legal for pattern.
 func matchOracle(sys System, pattern sim.Pattern, o OracleChoice) (OracleChoice, bool) {
-	for _, c := range sys.Oracles(pattern) {
+	for _, c := range sys.Oracles(pattern, SwitchPlan{}) {
 		if c.Stable == o.Stable {
-			return c, true
+			return c.withFlips(o.Flips), true
 		}
 	}
 	return OracleChoice{}, false

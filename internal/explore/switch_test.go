@@ -1,0 +1,349 @@
+package explore
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"weakestfd/internal/check"
+	"weakestfd/internal/converge"
+	"weakestfd/internal/core"
+	"weakestfd/internal/sim"
+)
+
+// Tests of the SwitchBudget dimension: schedule-controlled unstable detector
+// histories. The calibration mutant is fig1-skip-on-change
+// (core.MutSkipOnChange), whose broken branch is dead code under every
+// stable-from-0 history — so the SwitchBudget=0 sweep must pass, seeded
+// random testing must pass, and only a SwitchBudget>=1 sweep may (and must)
+// find it.
+
+// switchSweep sweeps the skip-on-change mutant at n=2 with the given engine
+// and switch budget. The branch horizon must contain the minimal witness's
+// second context switch (the skipping process resumes after the laggard's
+// solo decision, around depth 30); 36 leaves headroom. The crash grid is
+// trimmed to crash-at-0 and the flip grid to the productive mid-cycle time —
+// the full-default sweep finds the same witness, this one just keeps the
+// test fast; the CI smoke job runs the mutant through `fdlab explore` with
+// the same trimmed grids (the full-default mutant sweep is a multi-minute
+// pass; the default grids are CI-covered by the clean fig1 n=3 sweep).
+func switchSweep(engine Engine, budget int) *Result {
+	return Explore(Config{
+		System:       SkipOnChangeFig1System(2),
+		Engine:       engine,
+		SwitchBudget: budget,
+		FlipTimes:    []sim.Time{14},
+		CrashTimes:   []sim.Time{0},
+		MaxDepth:     36,
+		MaxRuns:      400_000,
+		MaxBlocks:    3,
+		MaxBlock:     36,
+		Budget:       2048,
+		// One witness is all these tests need; the first violation stops the
+		// sweep (the full-enumeration comparison lives in
+		// TestDifferentialSwitchMutant).
+		MaxViolations: 1,
+	})
+}
+
+// TestSwitchMutantCleanAtBudgetZero: with SwitchBudget=0 the mutant is
+// indistinguishable from the real protocol — the sweep must be violation-free
+// under both engines, proving the violation found at budget 1 is reachable
+// only through an unstable prefix.
+func TestSwitchMutantCleanAtBudgetZero(t *testing.T) {
+	for _, engine := range []Engine{EngineDPOR, EngineEnum} {
+		res := switchSweep(engine, 0)
+		if len(res.Violations) != 0 {
+			t.Fatalf("%v: SwitchBudget=0 sweep found violations on the stable-history-correct mutant: %v",
+				engine, res.Violations)
+		}
+		if res.Truncated {
+			t.Errorf("%v: budget-0 sweep truncated", engine)
+		}
+	}
+}
+
+// TestSwitchMutantCaughtAtBudgetOne: one pre-stabilization output switch
+// suffices — the sweep finds an agreement violation, shrinks the schedule,
+// and records a flip schedule in the witness artifact.
+func TestSwitchMutantCaughtAtBudgetOne(t *testing.T) {
+	res := switchSweep(EngineDPOR, 1)
+	if len(res.Violations) == 0 {
+		t.Fatalf("SwitchBudget=1 sweep missed the skip-on-change mutant (%d runs)", res.Runs)
+	}
+	v := res.Violations[0]
+	if v.Property != "agreement" {
+		t.Fatalf("violated property %q, want agreement", v.Property)
+	}
+	// A shrunk schedule of length 0 is legal: it means the fair round-robin
+	// tail alone reproduces the violation under the (possibly moved) flip.
+	if int64(v.ShrunkSteps) >= v.Steps {
+		t.Errorf("shrinker made no progress: %d -> %d", v.Steps, v.ShrunkSteps)
+	}
+	if len(v.Artifact.OracleFlips) == 0 {
+		t.Fatalf("witness artifact carries no flip schedule; the violation should be unreachable without one: %v", v)
+	}
+	if v.Artifact.Schema != 2 {
+		t.Errorf("unstable witness artifact has schema %d, want 2", v.Artifact.Schema)
+	}
+	if !strings.Contains(v.WitnessOracle, "pre[") {
+		t.Errorf("witness oracle name %q does not render the unstable prefix", v.WitnessOracle)
+	}
+	t.Logf("found and shrunk: %v", v)
+}
+
+// TestSwitchMutantArtifactRoundTrip: the unstable-history counterexample
+// must replay deterministically from disk, flips included.
+func TestSwitchMutantArtifactRoundTrip(t *testing.T) {
+	res := switchSweep(EngineDPOR, 1)
+	if len(res.Violations) == 0 {
+		t.Fatal("no violation to round-trip")
+	}
+	path := filepath.Join(t.TempDir(), "counterexample.json")
+	if err := res.Violations[0].Artifact.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	a, err := ReadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.OracleFlips) == 0 {
+		t.Fatal("flip schedule lost in the round trip")
+	}
+	for i := 0; i < 2; i++ {
+		run, violation, err := a.Replay(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if violation == nil {
+			t.Fatalf("replay %d did not reproduce (run: %d steps, decided %v)",
+				i, run.Report.Steps, run.Report.Decided)
+		}
+		if violation.Error() != a.Violation {
+			t.Errorf("replayed violation %q differs from recorded %q", violation.Error(), a.Violation)
+		}
+	}
+}
+
+// TestArtifactRejectsMalformed: the schema field must agree with the flip
+// payload (a schema-1 file with flips replays divergently on a pre-flip
+// reader), and an illegal stable set must be a clean error, not a panic.
+func TestArtifactRejectsMalformed(t *testing.T) {
+	res := switchSweep(EngineDPOR, 1)
+	if len(res.Violations) == 0 {
+		t.Fatal("no violation to corrupt")
+	}
+	good := res.Violations[0].Artifact
+	write := func(mutate func(a *Artifact)) string {
+		a := *good
+		mutate(&a)
+		path := filepath.Join(t.TempDir(), "corrupt.json")
+		if err := a.WriteFile(path); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	if _, err := ReadArtifact(write(func(a *Artifact) { a.Schema = 1 })); err == nil {
+		t.Error("schema-1 artifact with oracle_flips was accepted")
+	}
+	if _, err := ReadArtifact(write(func(a *Artifact) { a.OracleFlips = nil })); err == nil {
+		t.Error("schema-2 artifact without oracle_flips was accepted")
+	}
+
+	a, err := ReadArtifact(write(func(a *Artifact) {
+		a.OracleStable = []int{0, 1} // the correct set: illegal for Υ under failure-free
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.Replay(nil); err == nil {
+		t.Error("illegal stable set replayed without error")
+	} else if !strings.Contains(err.Error(), "not legal") {
+		t.Errorf("unexpected replay error: %v", err)
+	}
+}
+
+// TestDifferentialSwitchMutant: the legacy block enumerator executes
+// explicit schedules and makes no independence assumptions, so it honors
+// switch budgets soundly — but a flip-gated witness needs at least four
+// preemption blocks (interleaved round-1 converge, the skipper's solo run,
+// the laggard's decision), beyond the enumerator's usual 3-block bound.
+// At MaxBlocks=4 both engines must find the identical violating
+// (pattern, oracle, property) configurations at SwitchBudget=1 — which is
+// also why the fdlab CLI rejects -switch-budget > 0 under -dpor=false: at
+// the default 3-block bound the enumerator's pass would be vacuous.
+func TestDifferentialSwitchMutant(t *testing.T) {
+	full := func(engine Engine) *Result {
+		cfg := Config{
+			System:       SkipOnChangeFig1System(2),
+			Engine:       engine,
+			SwitchBudget: 1,
+			FlipTimes:    []sim.Time{14},
+			CrashTimes:   []sim.Time{0},
+			// 31 comfortably contains the witness's last race (the laggard's
+			// round-2 decision poll against the skipper's write, ~depth 29)
+			// and keeps the clean flip-variant configs' full-depth DFS
+			// CI-affordable.
+			MaxDepth:  31,
+			MaxBlocks: 4,
+			MaxBlock:  14,
+			Budget:    2048,
+			// The mutant has exactly two violating configurations on this
+			// grid (one per stable set, symmetric); capping there lets both
+			// sweeps stop once they have them instead of exhausting every
+			// clean config at full depth (a ~9M-run, minutes-long pass that
+			// found nothing more when run uncapped).
+			MaxViolations: 2,
+			Workers:       1,
+		}
+		return Explore(cfg)
+	}
+	d, l := full(EngineDPOR), full(EngineEnum)
+	dk, lk := violationKeys(d), violationKeys(l)
+	if strings.Join(dk, "\n") != strings.Join(lk, "\n") {
+		t.Fatalf("violation sets differ at SwitchBudget=1:\nDPOR (%d):\n%s\nenum (%d):\n%s",
+			len(dk), strings.Join(dk, "\n"), len(lk), strings.Join(lk, "\n"))
+	}
+	if len(dk) != 2 {
+		t.Fatalf("found %d violating configs at SwitchBudget=1, want the mutant's 2:\n%s",
+			len(dk), strings.Join(dk, "\n"))
+	}
+	t.Logf("identical %d violating configs; dpor %d runs (%d pruned) vs enum %d runs",
+		len(dk), d.Runs, d.Pruned, l.Runs)
+}
+
+// TestSwitchMutantEscapesRandomTesting: 500 seeded-random schedules over
+// stable-from-0 histories — the regime every other suite in this repository
+// tests in — cannot distinguish the mutant from the real protocol (the
+// mutated branch is dead code there), in the exact configuration the
+// SwitchBudget=1 sweep breaks.
+func TestSwitchMutantEscapesRandomTesting(t *testing.T) {
+	const n = 2
+	pattern := sim.FailFree(n)
+	proposals := canonicalProposals(n)
+	spec := core.Upsilon(n)
+	for seed := int64(1); seed <= 500; seed++ {
+		stable := spec.StableChoice(pattern, seed)
+		h := spec.HistoryWithStable(pattern, 0, seed, stable)
+		g := core.NewFig1(n, h, converge.UseAtomic)
+		machines := make([]sim.StepMachine, n)
+		for i := range machines {
+			machines[i] = g.MutantMachine(proposals[i], core.MutSkipOnChange)
+		}
+		rep, err := sim.RunMachines(sim.Config{
+			Pattern:  pattern,
+			Schedule: sim.NewRandom(seed),
+			Budget:   1 << 16,
+		}, machines)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := check.SetAgreement(rep, pattern, g.K(), proposals); err != nil {
+			t.Fatalf("seed %d: random testing caught the mutant (%v) — the premise no longer holds", seed, err)
+		}
+	}
+}
+
+// TestFlipTimesNormalization: an unsorted or duplicated flip-time grid must
+// be normalized, not crash the sweep — flipVariants assumes a strictly
+// increasing grid and fd.NewUnstable panics on an unordered phase tuple.
+// Unobservable times (a phase ending at t <= 1 covers no step) are dropped.
+func TestFlipTimesNormalization(t *testing.T) {
+	got := Config{System: Fig1System(2), SwitchBudget: 1,
+		FlipTimes: []sim.Time{14, 2, 2, 1, 0}}.withDefaults().FlipTimes
+	want := []sim.Time{2, 14}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("normalized grid %v, want %v", got, want)
+	}
+	// A grid of entirely unobservable times must fall back to the default,
+	// not silently degenerate the budget>0 sweep to stable-from-0.
+	got = Config{System: Fig1System(2), SwitchBudget: 1,
+		FlipTimes: []sim.Time{1}}.withDefaults().FlipTimes
+	if len(got) != 2 || got[0] != 2 || got[1] != 14 {
+		t.Fatalf("all-unobservable grid normalized to %v, want the {2,14} default", got)
+	}
+	// End-to-end regression: the unsorted grid used to panic inside a worker
+	// at Instantiate (building the Unstable history). Truncation is fine —
+	// every configuration still gets instantiated.
+	res := Explore(Config{
+		System:       Fig1System(2),
+		SwitchBudget: 2,
+		FlipTimes:    []sim.Time{14, 2, 2},
+		CrashTimes:   []sim.Time{0},
+		MaxDepth:     1,
+		MaxRuns:      1,
+		Budget:       2048,
+		Workers:      1,
+	})
+	if len(res.Violations) != 0 {
+		t.Fatalf("unexpected violations: %v", res.Violations)
+	}
+}
+
+// TestBaseOracleRecovery: re-flipping a flip variant must rebuild the name
+// from the remembered base, never nest "pre[" suffixes, and baseOracle must
+// recover the stable-from-0 choice exactly.
+func TestBaseOracleRecovery(t *testing.T) {
+	base := OracleChoice{Name: "U={p1}", Stable: sim.SetOf(0)}
+	v1 := base.withFlips([]FlipPhase{{Until: 2, Out: sim.SetOf(1)}})
+	v2 := v1.withFlips([]FlipPhase{{Until: 8, Out: sim.SetOf(0, 1)}})
+	if strings.Count(v2.Name, " pre[") != 1 {
+		t.Fatalf("re-flipped name %q nests the unstable-prefix suffix", v2.Name)
+	}
+	if got := baseOracle(v2); got.Name != base.Name || len(got.Flips) != 0 {
+		t.Fatalf("baseOracle(%q) = %+v, want name %q with no flips", v2.Name, got, base.Name)
+	}
+	if got := v1.withFlips(nil); got.Name != base.Name || got.base != "" {
+		t.Fatalf("withFlips(nil) = %+v, want the plain base choice", got)
+	}
+}
+
+// TestFlipVariantsEnumeration pins the flip-schedule enumeration: base
+// choices come through unchanged, every variant's phases are strictly
+// ordered with no no-op switches, and the counts match the closed form
+// (per base: for k switches, C(|times|, k) time tuples × valid output
+// chains).
+func TestFlipVariantsEnumeration(t *testing.T) {
+	base := []OracleChoice{{Name: "U={p1}", Stable: sim.SetOf(0)}}
+	domain := []sim.Set{sim.SetOf(0), sim.SetOf(1), sim.SetOf(0, 1)}
+
+	if got := flipVariants(base, domain, SwitchPlan{}); len(got) != 1 {
+		t.Fatalf("zero plan returned %d choices, want the 1 base choice", len(got))
+	}
+
+	plan := SwitchPlan{Budget: 2, Times: []sim.Time{2, 8}}
+	got := flipVariants(base, domain, plan)
+	// k=1: 2 times × 2 outputs (≠ stable) = 4.
+	// k=2: 1 time pair × |{(a,b): b ∉ {a, stable}}| over the 3-value domain
+	// with stable ∈ domain: a=stable gives 2 chains, each other a gives 1,
+	// so 4 chains.
+	want := 1 + 4 + 4
+	if len(got) != want {
+		for _, o := range got {
+			t.Log(o.Name)
+		}
+		t.Fatalf("enumerated %d choices, want %d", len(got), want)
+	}
+	seen := make(map[string]bool)
+	for _, o := range got {
+		if seen[o.Name] {
+			t.Errorf("duplicate choice %q", o.Name)
+		}
+		seen[o.Name] = true
+		var last sim.Time
+		for i, f := range o.Flips {
+			if f.Until <= last {
+				t.Errorf("%s: phase %d not strictly later than %d", o.Name, i, last)
+			}
+			last = f.Until
+			next := o.Stable
+			if i+1 < len(o.Flips) {
+				next = o.Flips[i+1].Out
+			}
+			if f.Out == next {
+				t.Errorf("%s: phase %d is a no-op switch", o.Name, i)
+			}
+		}
+	}
+}

@@ -12,16 +12,34 @@ import (
 )
 
 // OracleChoice identifies one failure detector history of a system's
-// enumerated family: a stable value (a Υ/Υ^f set, or a singleton {leader}
-// for Ω sources), stable from time 0. Seed feeds any remaining seeded
-// choices a system makes.
+// enumerated family: an optional bounded unstable prefix (Flips), then a
+// stable value (a Υ/Υ^f set, or a singleton {leader} for Ω sources) output
+// permanently. Without flips the history is stable from time 0 — the PR-4
+// space. Seed feeds any remaining seeded choices a system makes.
 type OracleChoice struct {
-	// Name is the display form, e.g. "U={p1,p3}".
+	// Name is the display form, e.g. "U={p1,p3}" or
+	// "U={p1} pre[{p1,p2}<8]".
 	Name string
 	// Stable is the history's stable output as a process set.
 	Stable sim.Set
 	// Seed drives auxiliary seeded choices.
 	Seed int64
+	// Flips is the unstable prefix: the pre-stabilization phases, ordered by
+	// strictly increasing Until (empty = stable from time 0). Each flip is
+	// recorded by the query seam as a write of the history's virtual object.
+	Flips []FlipPhase
+	// base is the stable-from-0 display name the flip variant was built
+	// from (set by withFlips), so the shrinker can recover the base choice
+	// without parsing Name.
+	base string
+}
+
+// NamedHistory is one detector history an instance's machines query,
+// paired with the virtual-object name it is registered under in the run's
+// query seam (and hence how its accesses render in traces).
+type NamedHistory struct {
+	Name string
+	H    sim.Oracle
 }
 
 // Instance is one run's freshly built shared state: the per-process
@@ -46,6 +64,12 @@ type Instance struct {
 	// Finish, when non-nil, runs after the simulation and may fill
 	// system-specific Run fields (e.g. Outputs/OutputsSettled).
 	Finish func(r *Run)
+	// Histories are the detector histories the machines query, registered
+	// with the run's query seam so every query is recorded as a read of the
+	// history's virtual object and every flip as a write. Empty for systems
+	// that consume no oracle (timed-composed) or whose detector is emulated
+	// from shared state already under access tracking.
+	Histories []NamedHistory
 }
 
 // System is one protocol (or reduction) under exploration. Instantiate must
@@ -58,8 +82,10 @@ type System interface {
 	N() int
 	// MaxFaults is the resilience f of the system's environment E_f.
 	MaxFaults() int
-	// Oracles enumerates the detector histories to explore for one pattern.
-	Oracles(pattern sim.Pattern) []OracleChoice
+	// Oracles enumerates the detector histories to explore for one pattern:
+	// every legal stable value, expanded by every flip schedule the switch
+	// plan allows (a zero plan keeps the histories stable from time 0).
+	Oracles(pattern sim.Pattern, plan SwitchPlan) []OracleChoice
 	// Instantiate builds one run's machines and hooks.
 	Instantiate(pattern sim.Pattern, o OracleChoice) Instance
 	// Properties are the claims checked on every completed run.
@@ -75,6 +101,8 @@ func NewSystem(name string, n, f int) (System, error) {
 		return Fig1System(n), nil
 	case "fig1-broken-adopt":
 		return BrokenFig1System(n), nil
+	case "fig1-skip-on-change":
+		return SkipOnChangeFig1System(n), nil
 	case "fig2":
 		return Fig2System(n, f), nil
 	case "extract-omega":
@@ -90,7 +118,7 @@ func NewSystem(name string, n, f int) (System, error) {
 
 // SystemNames lists the registry, for CLI help.
 func SystemNames() []string {
-	return []string{"fig1", "fig1-broken-adopt", "fig2", "extract-omega", "composed", "timed-composed"}
+	return []string{"fig1", "fig1-broken-adopt", "fig1-skip-on-change", "fig2", "extract-omega", "composed", "timed-composed"}
 }
 
 // canonicalProposals returns the explorer's fixed inputs 100..100+n−1:
@@ -100,6 +128,52 @@ func canonicalProposals(n int) []sim.Value {
 	out := make([]sim.Value, n)
 	for i := range out {
 		out[i] = sim.Value(100 + i)
+	}
+	return out
+}
+
+// upsilonHistory builds the Υ^f history for one choice: the seeded
+// stable-from-0 history when the choice has no flips (the PR-4 path,
+// byte-identical behaviour), otherwise the flip-aware Unstable history the
+// query seam records writes for.
+func upsilonHistory(spec core.UpsilonSpec, pattern sim.Pattern, o OracleChoice) sim.Oracle {
+	if len(o.Flips) == 0 {
+		return spec.HistoryWithStable(pattern, 0, o.Seed, o.Stable)
+	}
+	if err := spec.LegalStable(pattern, o.Stable); err != nil {
+		panic(fmt.Sprintf("explore: illegal Υ^f stable set: %v", err))
+	}
+	phases := make([]fd.Phase[sim.Set], len(o.Flips))
+	for i, f := range o.Flips {
+		phases[i] = fd.Phase[sim.Set]{Until: f.Until, Out: f.Out}
+	}
+	return fd.NewUnstable(o.Stable, phases...)
+}
+
+// omegaHistory builds the Ω source history for one choice: a constant
+// correct leader without flips, otherwise the flip-aware history running
+// through the choice's pre-stabilization leaders.
+func omegaHistory(o OracleChoice) sim.Oracle {
+	leader := o.Stable.Min()
+	if len(o.Flips) == 0 {
+		return &fd.Stabilizing[sim.PID]{Stable: leader}
+	}
+	phases := make([]fd.Phase[sim.PID], len(o.Flips))
+	for i, f := range o.Flips {
+		phases[i] = fd.Phase[sim.PID]{Until: f.Until, Out: f.Out.Min()}
+	}
+	return fd.NewUnstable(leader, phases...)
+}
+
+// omegaLeaderChoices enumerates every correct leader as an Ω source's stable
+// output, in PID order (Members iterates ascending).
+func omegaLeaderChoices(pattern sim.Pattern) []OracleChoice {
+	var out []OracleChoice
+	for _, leader := range pattern.Correct().Members() {
+		out = append(out, OracleChoice{
+			Name:   fmt.Sprintf("leader=%v", leader),
+			Stable: sim.SetOf(leader),
+		})
 	}
 	return out
 }
@@ -135,9 +209,20 @@ func Fig1System(n int) System { return fig1System{n: n} }
 // use to prove the explorer catches what seeded-random testing misses.
 func BrokenFig1System(n int) System { return fig1System{n: n, mut: core.MutWrongAdopt} }
 
+// SkipOnChangeFig1System is Figure 1 with the detector-change escape broken
+// (core.MutSkipOnChange): provably correct under every stable-from-0
+// history — the mutated branch is dead code there — but agreement-violating
+// under an unstable prefix. It calibrates the SwitchBudget dimension: the
+// sweep must pass at SwitchBudget=0 and find (and shrink) the violation at
+// SwitchBudget>=1.
+func SkipOnChangeFig1System(n int) System { return fig1System{n: n, mut: core.MutSkipOnChange} }
+
 func (s fig1System) Name() string {
-	if s.mut != core.MutNone {
+	switch s.mut {
+	case core.MutWrongAdopt:
 		return "fig1-broken-adopt"
+	case core.MutSkipOnChange:
+		return "fig1-skip-on-change"
 	}
 	return "fig1"
 }
@@ -145,19 +230,25 @@ func (s fig1System) Name() string {
 func (s fig1System) N() int         { return s.n }
 func (s fig1System) MaxFaults() int { return s.n - 1 }
 
-func (s fig1System) Oracles(pattern sim.Pattern) []OracleChoice {
-	return legalStableSets(core.Upsilon(s.n), pattern)
+func (s fig1System) Oracles(pattern sim.Pattern, plan SwitchPlan) []OracleChoice {
+	spec := core.Upsilon(s.n)
+	return flipVariants(legalStableSets(spec, pattern), upsilonRange(s.n, spec.MinSize()), plan)
 }
 
 func (s fig1System) Instantiate(pattern sim.Pattern, o OracleChoice) Instance {
-	h := core.Upsilon(s.n).HistoryWithStable(pattern, 0, o.Seed, o.Stable)
+	h := upsilonHistory(core.Upsilon(s.n), pattern, o)
 	g := core.NewFig1(s.n, h, converge.UseAtomic)
 	proposals := canonicalProposals(s.n)
 	machines := make([]sim.StepMachine, s.n)
 	for i := range machines {
 		machines[i] = g.MutantMachine(proposals[i], s.mut)
 	}
-	return Instance{Machines: machines, Proposals: proposals, K: g.K()}
+	return Instance{
+		Machines:  machines,
+		Proposals: proposals,
+		K:         g.K(),
+		Histories: []NamedHistory{{Name: "H(U)", H: h}},
+	}
 }
 
 func (s fig1System) Properties() []Property {
@@ -179,19 +270,25 @@ func (s fig2System) Name() string   { return "fig2" }
 func (s fig2System) N() int         { return s.n }
 func (s fig2System) MaxFaults() int { return s.f }
 
-func (s fig2System) Oracles(pattern sim.Pattern) []OracleChoice {
-	return legalStableSets(core.UpsilonF(s.n, s.f), pattern)
+func (s fig2System) Oracles(pattern sim.Pattern, plan SwitchPlan) []OracleChoice {
+	spec := core.UpsilonF(s.n, s.f)
+	return flipVariants(legalStableSets(spec, pattern), upsilonRange(s.n, spec.MinSize()), plan)
 }
 
 func (s fig2System) Instantiate(pattern sim.Pattern, o OracleChoice) Instance {
-	h := core.UpsilonF(s.n, s.f).HistoryWithStable(pattern, 0, o.Seed, o.Stable)
+	h := upsilonHistory(core.UpsilonF(s.n, s.f), pattern, o)
 	g := core.NewFig2(s.n, s.f, h, converge.UseAtomic)
 	proposals := canonicalProposals(s.n)
 	machines := make([]sim.StepMachine, s.n)
 	for i := range machines {
 		machines[i] = g.Machine(proposals[i])
 	}
-	return Instance{Machines: machines, Proposals: proposals, K: g.K()}
+	return Instance{
+		Machines:  machines,
+		Proposals: proposals,
+		K:         g.K(),
+		Histories: []NamedHistory{{Name: "H(U)", H: h}},
+	}
 }
 
 func (s fig2System) Properties() []Property {
@@ -216,20 +313,14 @@ func (s extractSystem) N() int         { return s.n }
 func (s extractSystem) MaxFaults() int { return s.n - 1 }
 
 // Oracles enumerates every correct leader as the Ω source's stable output,
-// in PID order (Members iterates ascending).
-func (s extractSystem) Oracles(pattern sim.Pattern) []OracleChoice {
-	var out []OracleChoice
-	for _, leader := range pattern.Correct().Members() {
-		out = append(out, OracleChoice{
-			Name:   fmt.Sprintf("leader=%v", leader),
-			Stable: sim.SetOf(leader),
-		})
-	}
-	return out
+// in PID order (Members iterates ascending), expanded by the plan's flip
+// schedules over arbitrary (possibly faulty) pre-stabilization leaders.
+func (s extractSystem) Oracles(pattern sim.Pattern, plan SwitchPlan) []OracleChoice {
+	return flipVariants(omegaLeaderChoices(pattern), omegaRange(s.n), plan)
 }
 
 func (s extractSystem) Instantiate(pattern sim.Pattern, o OracleChoice) Instance {
-	oracle := &fd.Stabilizing[sim.PID]{Stable: o.Stable.Min()}
+	oracle := omegaHistory(o)
 	ex := core.NewExtraction(s.n, oracle, core.PhiOmega(s.n))
 	machines := make([]sim.StepMachine, s.n)
 	for i := range machines {
@@ -238,8 +329,9 @@ func (s extractSystem) Instantiate(pattern sim.Pattern, o OracleChoice) Instance
 	trace := check.NewOutputTrace[sim.Set](s.n, ex.Output)
 	correct := pattern.Correct()
 	return Instance{
-		Machines: machines,
-		Observe:  trace.Observe,
+		Machines:  machines,
+		Histories: []NamedHistory{{Name: "H(Ω)", H: oracle}},
+		Observe:   trace.Observe,
 		Finish: func(r *Run) {
 			r.Outputs = append([]sim.Set(nil), trace.Final()...)
 			stable, from, err := trace.StableFrom(correct)
@@ -287,26 +379,23 @@ func (s composedSystem) N() int         { return s.n }
 func (s composedSystem) MaxFaults() int { return s.n - 1 }
 
 // Oracles enumerates every correct leader as the underlying Ω source's
-// stable output, as in ExtractOmegaSystem.
-func (s composedSystem) Oracles(pattern sim.Pattern) []OracleChoice {
-	var out []OracleChoice
-	for _, leader := range pattern.Correct().Members() {
-		out = append(out, OracleChoice{
-			Name:   fmt.Sprintf("leader=%v", leader),
-			Stable: sim.SetOf(leader),
-		})
-	}
-	return out
+// stable output, as in ExtractOmegaSystem, with the plan's flip schedules.
+func (s composedSystem) Oracles(pattern sim.Pattern, plan SwitchPlan) []OracleChoice {
+	return flipVariants(omegaLeaderChoices(pattern), omegaRange(s.n), plan)
 }
 
 func (s composedSystem) Instantiate(pattern sim.Pattern, o OracleChoice) Instance {
-	oracle := &fd.Stabilizing[sim.PID]{Stable: o.Stable.Min()}
+	oracle := omegaHistory(o)
 	c := core.NewComposed(s.n, oracle, core.PhiOmega(s.n), converge.UseAtomic)
 	proposals := canonicalProposals(s.n)
 	return Instance{
 		Tasks:     c.MachineTaskSets(proposals),
 		Proposals: proposals,
 		K:         c.K(),
+		// Only the underlying Ω source is a seam history; the emulated Υ the
+		// protocol task queries reads the process's own output variable —
+		// process-local state, not an environment object.
+		Histories: []NamedHistory{{Name: "H(Ω)", H: oracle}},
 	}
 }
 
@@ -340,8 +429,9 @@ func (s timedComposedSystem) N() int         { return s.n }
 func (s timedComposedSystem) MaxFaults() int { return s.n - 1 }
 
 // Oracles returns the single trivial choice: the system consumes no oracle
-// (its detector is implemented, not assumed).
-func (s timedComposedSystem) Oracles(sim.Pattern) []OracleChoice {
+// (its detector is implemented, not assumed), so there is no history to
+// flip and the switch plan is ignored.
+func (s timedComposedSystem) Oracles(sim.Pattern, SwitchPlan) []OracleChoice {
 	return []OracleChoice{{Name: "heartbeat-emulated"}}
 }
 

@@ -21,9 +21,11 @@ func Query[T any](p *sim.Proc, h sim.Oracle) T {
 // QueryAt evaluates oracle h at (p, t) without a Proc and asserts the output
 // type — the machine-runner counterpart of Query. The caller (a
 // sim.StepMachine driven by sim.RunMachines) is charged the step by the
-// runner itself.
-func QueryAt[T any](h sim.Oracle, p sim.PID, t sim.Time) T {
-	v := h.Value(p, t)
+// runner itself. The query routes through the run's query seam q (from
+// sim.MachineContext.Queries; nil evaluates the oracle directly) so that on
+// recorded runs it is a first-class read of the history's virtual object.
+func QueryAt[T any](q *sim.QuerySeam, h sim.Oracle, p sim.PID, t sim.Time) T {
+	v := q.Query(h, p, t)
 	out, ok := v.(T)
 	if !ok {
 		panic(fmt.Sprintf("fd: oracle output %T, algorithm expected %T", v, out))

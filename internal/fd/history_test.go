@@ -1,0 +1,92 @@
+package fd
+
+import (
+	"reflect"
+	"testing"
+
+	"weakestfd/internal/sim"
+)
+
+// Table tests for the Stabilizing noise path (the pre-TS branch): the output
+// is Noise(p, t) strictly before TS, Stable from TS on, and a nil Noise
+// makes the history stable from the start regardless of TS.
+func TestStabilizingNoiseTable(t *testing.T) {
+	noise := func(p sim.PID, tm sim.Time) int { return 1000*int(p) + int(tm) }
+	cases := []struct {
+		name  string
+		ts    sim.Time
+		noise func(sim.PID, sim.Time) int
+		p     sim.PID
+		t     sim.Time
+		want  int
+	}{
+		{"before TS uses noise", 10, noise, 2, 3, 2003},
+		{"noise depends on process", 10, noise, 3, 3, 3003},
+		{"noise depends on time", 10, noise, 2, 9, 2009},
+		{"at TS exactly stable", 10, noise, 2, 10, 77},
+		{"after TS stable", 10, noise, 2, 11, 77},
+		{"TS zero never noisy", 0, noise, 2, 0, 77},
+		{"nil noise stable despite TS", 10, nil, 2, 3, 77},
+		{"nil noise stable after TS", 10, nil, 2, 30, 77},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := &Stabilizing[int]{TS: tc.ts, Stable: 77, Noise: tc.noise}
+			if got := o.Value(tc.p, tc.t); got != tc.want {
+				t.Fatalf("Value(%v, %d) = %v, want %v", tc.p, tc.t, got, tc.want)
+			}
+		})
+	}
+}
+
+// Table tests for the flip-aware Unstable history: phase lookup, the
+// boundary convention (a query at a flip time sees the post-flip value),
+// and FlipTimes.
+func TestUnstableValueTable(t *testing.T) {
+	u := NewUnstable(99,
+		Phase[int]{Until: 3, Out: 10},
+		Phase[int]{Until: 8, Out: 20},
+	)
+	cases := []struct {
+		t    sim.Time
+		want int
+	}{
+		{0, 10}, {1, 10}, {2, 10},
+		{3, 20}, // at the flip: post-flip value
+		{5, 20}, {7, 20},
+		{8, 99}, // stabilization
+		{100, 99},
+	}
+	for _, tc := range cases {
+		for p := sim.PID(0); p < 3; p++ { // uniform across processes
+			if got := u.Value(p, tc.t); got != 10 && got != 20 && got != 99 {
+				t.Fatalf("Value(%v,%d) = %v, outside the phase outputs", p, tc.t, got)
+			}
+			if got := u.Value(p, tc.t); got != tc.want {
+				t.Fatalf("Value(%v,%d) = %v, want %v", p, tc.t, got, tc.want)
+			}
+		}
+	}
+	if got, want := u.FlipTimes(), []sim.Time{3, 8}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("FlipTimes = %v, want %v", got, want)
+	}
+}
+
+func TestUnstableNoPhasesIsConstant(t *testing.T) {
+	u := NewUnstable(5)
+	if u.Value(0, 0) != 5 || u.Value(3, 1<<40) != 5 {
+		t.Fatal("phase-free Unstable not constant")
+	}
+	if ft := u.FlipTimes(); ft != nil {
+		t.Fatalf("phase-free Unstable reports flips %v", ft)
+	}
+}
+
+func TestUnstableRejectsUnorderedPhases(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewUnstable accepted non-increasing phase boundaries")
+		}
+	}()
+	NewUnstable(0, Phase[int]{Until: 5, Out: 1}, Phase[int]{Until: 5, Out: 2})
+}

@@ -1,0 +1,99 @@
+package fd
+
+import (
+	"strings"
+	"testing"
+
+	"weakestfd/internal/sim"
+)
+
+// Table tests for the opaque-tag codec: every set round-trips, and every
+// malformed tag is rejected with a descriptive error rather than decoded to
+// a wrong set.
+func TestTagSetRoundTripTable(t *testing.T) {
+	cases := []struct {
+		set  sim.Set
+		want string
+	}{
+		{sim.EmptySet, "excl:"},
+		{sim.SetOf(0), "excl:p1"},
+		{sim.SetOf(1), "excl:p2"},
+		{sim.SetOf(0, 1), "excl:p1+p2"},
+		{sim.SetOf(0, 2, 4), "excl:p1+p3+p5"},
+		{sim.SetOf(63), "excl:p64"},
+		{sim.FullSet(4), "excl:p1+p2+p3+p4"},
+	}
+	for _, tc := range cases {
+		tag := TagSet(tc.set)
+		if tag != tc.want {
+			t.Errorf("TagSet(%v) = %q, want %q", tc.set, tag, tc.want)
+		}
+		got, err := UntagSet(tag)
+		if err != nil {
+			t.Errorf("UntagSet(%q): %v", tag, err)
+		} else if got != tc.set {
+			t.Errorf("round trip %v -> %q -> %v", tc.set, tag, got)
+		}
+	}
+}
+
+func TestUntagSetRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		tag     string
+		wantErr string
+	}{
+		{"p1+p2", "lacks excl: prefix"},
+		{"incl:p1", "lacks excl: prefix"},
+		{"excl:q1", `bad tag element "q1"`},
+		{"excl:p0", `bad tag element "p0"`},
+		{"excl:p-1", `bad tag element "p-1"`},
+		{"excl:p", `bad tag element "p"`},
+		{"excl:p1+", `bad tag element ""`},
+		{"excl:p1 p2", `bad tag element "p1 p2"`},
+		{"excl:pp3", `bad tag element "pp3"`},
+	}
+	for _, tc := range cases {
+		if _, err := UntagSet(tc.tag); err == nil {
+			t.Errorf("UntagSet(%q) accepted a malformed tag", tc.tag)
+		} else if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("UntagSet(%q) error %q, want it to mention %q", tc.tag, err, tc.wantErr)
+		}
+	}
+}
+
+// TestTaggedOmegaFNoisePath exercises the pre-stabilization branch directly:
+// before ts every output is a well-formed tag of exactly `size` processes
+// (the range constraint holds even while the value is arbitrary), and
+// outputs genuinely vary across (p, t) — the noise is noise.
+func TestTaggedOmegaFNoisePath(t *testing.T) {
+	pattern := sim.CrashPattern(5, map[sim.PID]sim.Time{0: 10})
+	const size = 3
+	h := NewTaggedOmegaF(pattern, size, 50, 7)
+	seen := make(map[string]bool)
+	for p := sim.PID(0); p < 5; p++ {
+		for _, tm := range []sim.Time{0, 1, 17, 49} {
+			tag, ok := h.Value(p, tm).(string)
+			if !ok {
+				t.Fatalf("noise output at (%v,%d) is %T, want string", p, tm, h.Value(p, tm))
+			}
+			s, err := UntagSet(tag)
+			if err != nil {
+				t.Fatalf("noise output %q malformed: %v", tag, err)
+			}
+			if s.Len() != size {
+				t.Fatalf("noise output %q has %d members, want %d", tag, s.Len(), size)
+			}
+			seen[tag] = true
+		}
+	}
+	if len(seen) < 2 {
+		t.Fatalf("noise produced a single tag %v across 20 samples; not noise", seen)
+	}
+	// From ts on, the output is one fixed tag.
+	stable := h.Value(0, 50)
+	for p := sim.PID(0); p < 5; p++ {
+		if h.Value(p, 1000) != stable {
+			t.Fatalf("post-ts output differs across processes: %v vs %v", h.Value(p, 1000), stable)
+		}
+	}
+}

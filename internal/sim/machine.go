@@ -42,6 +42,12 @@ type MachineContext struct {
 	// step's shared-object access set is observable; with a nil log the
 	// accessors are no-ops and cost one branch.
 	Log *AccessLog
+	// Queries is the run's detector-query seam (nil when queries are not
+	// recorded). A machine must route every failure detector query through
+	// it (fd.QueryAt, or QuerySeam.Query directly), so the query is
+	// observable as a read of the history's virtual object; a nil seam
+	// evaluates oracles directly and costs one branch.
+	Queries *QuerySeam
 }
 
 // StepMachine is a process automaton in resumable form: where a Body blocks
@@ -105,7 +111,7 @@ func RunMachines(cfg Config, machines []StepMachine) (*Report, error) {
 		Accesses:  cfg.AccessLog,
 	}
 	for i := range machines {
-		machines[i].Init(MachineContext{ID: PID(i), N: n, Log: cfg.AccessLog})
+		machines[i].Init(MachineContext{ID: PID(i), N: n, Log: cfg.AccessLog, Queries: cfg.Queries})
 	}
 
 	// crashLive marks every still-live machine crashed — the machine-world
@@ -150,6 +156,7 @@ func RunMachines(cfg Config, machines []StepMachine) (*Report, error) {
 		}
 		t = next
 		cfg.AccessLog.BeginStep()
+		cfg.Queries.OnStep(t)
 		status := machines[pid].Step(t)
 		cfg.AccessLog.EndStep(pid)
 		rep.Steps++
@@ -218,7 +225,7 @@ func RunTaskMachines(cfg Config, tasks []MachineTaskSet) (*Report, error) {
 		}
 		taskIdx[i] = make([]int, len(tasks[i]))
 		for k, m := range tasks[i] {
-			m.Init(MachineContext{ID: PID(i), N: n, Log: cfg.AccessLog})
+			m.Init(MachineContext{ID: PID(i), N: n, Log: cfg.AccessLog, Queries: cfg.Queries})
 			taskIdx[i][k] = len(slots)
 			slots = append(slots, slot{pid: PID(i), m: m, state: machLive})
 		}
@@ -299,6 +306,7 @@ func RunTaskMachines(cfg Config, tasks []MachineTaskSet) (*Report, error) {
 		s := &slots[procTasks[chosen]]
 		t = next
 		cfg.AccessLog.BeginStep()
+		cfg.Queries.OnStep(t)
 		status := s.m.Step(t)
 		cfg.AccessLog.EndStep(pid)
 		rep.Steps++

@@ -31,6 +31,7 @@ type Proc struct {
 	now    Time
 	steps  int64
 	tracer func(Event)
+	seam   *QuerySeam
 }
 
 // Event is a trace record of one atomic step.
@@ -87,11 +88,13 @@ func (p *Proc) Step(label string, op func()) {
 }
 
 // Query performs a query step on the given failure detector history and
-// returns the module's output at the current time.
+// returns the module's output at the current time. The query routes through
+// the run's query seam (Config.Queries) so that, on recorded runs, it is a
+// first-class read of the history's virtual object.
 func (p *Proc) Query(h Oracle) any {
 	var out any
 	p.Step("query", func() {
-		out = h.Value(p.id, p.now)
+		out = p.seam.Query(h, p.id, p.now)
 	})
 	return out
 }

@@ -42,6 +42,12 @@ type Config struct {
 	// RunTaskMachines) record: their machines route every operation through
 	// the instrumented Direct* accessors. The goroutine runner ignores it.
 	AccessLog *AccessLog
+	// Queries, if non-nil, is the run's detector-query seam: every failure
+	// detector query (Proc.Query on the goroutine runner, fd.QueryAt in
+	// step machines) routes through it, recording the query as a read of the
+	// history's virtual object and each registered history flip as a write
+	// (see QuerySeam). Nil is the pass-through default.
+	Queries *QuerySeam
 }
 
 // DefaultBudget is the step budget used when Config.Budget is zero.
@@ -150,6 +156,7 @@ func Run(cfg Config, bodies []Body) (*Report, error) {
 			msgs:   msgs,
 			grants: make(chan grant, 1),
 			tracer: cfg.Tracer,
+			seam:   cfg.Queries,
 		}
 		procs[i] = p
 		states[i] = stateAwaited
