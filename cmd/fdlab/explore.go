@@ -3,6 +3,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -181,16 +182,26 @@ func runReplay(args []string) {
 	if *in == "" {
 		log.Fatal("-in is required")
 	}
-	a, err := explore.ReadArtifact(*in)
+	if code := replayArtifact(os.Stdout, *in, *trace); code != 0 {
+		os.Exit(code)
+	}
+}
+
+// replayArtifact is runReplay's testable body: it writes the replay report
+// to out and returns the process exit code (0 reproduced, 1 not reproduced
+// or unloadable).
+func replayArtifact(out io.Writer, in string, trace bool) int {
+	a, err := explore.ReadArtifact(in)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(out, "fdlab: %v\n", err)
+		return 1
 	}
-	fmt.Printf("replaying %s: system %s n=%d f=%d, oracle %s, %d scheduled steps, budget %d\n",
-		*in, a.System, a.N, a.F, a.OracleName, len(a.Schedule), a.Budget)
+	fmt.Fprintf(out, "replaying %s: system %s n=%d f=%d, oracle %s, %d scheduled steps, budget %d\n",
+		in, a.System, a.N, a.F, a.OracleName, len(a.Schedule), a.Budget)
 	for _, f := range a.OracleFlips {
-		fmt.Printf("detector flip: output %v until t=%d, then %s\n", pidSet(f.Out), f.Until, nextFlipOutput(a, f.Until))
+		fmt.Fprintf(out, "detector flip: output %v until t=%d, then %s\n", pidSet(f.Out), f.Until, nextFlipOutput(a, f.Until))
 	}
-	fmt.Printf("recorded violation (%s): %s\n", a.Property, a.Violation)
+	fmt.Fprintf(out, "recorded violation (%s): %s\n", a.Property, a.Violation)
 
 	// Grants are buffered and printed after the run: a step's access set is
 	// recorded by the step itself, which executes after the scheduling hook
@@ -203,16 +214,17 @@ func runReplay(args []string) {
 	}
 	var grants []grant
 	var hook func(idx int, t sim.Time, enabled sim.Set, chosen sim.PID)
-	if *trace {
+	if trace {
 		hook = func(idx int, t sim.Time, enabled sim.Set, chosen sim.PID) {
 			grants = append(grants, grant{idx: idx, t: t, enabled: enabled, chosen: chosen})
 		}
 	}
 	run, violation, err := a.Replay(hook)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(out, "fdlab: %v\n", err)
+		return 1
 	}
-	if *trace {
+	if trace {
 		accesses := run.Report.Accesses
 		for _, g := range grants {
 			line := fmt.Sprintf("  step %4d t=%-4d enabled=%-18v -> %v", g.idx, int64(g.t), g.enabled, g.chosen)
@@ -220,14 +232,25 @@ func runReplay(args []string) {
 				_, accs := accesses.Step(g.idx)
 				line += "  " + accesses.AccessString(accs)
 			}
-			fmt.Println(line)
+			fmt.Fprintln(out, line)
 		}
 	}
-	fmt.Printf("run: %d steps, decided %d, crashed %v\n",
+	fmt.Fprintf(out, "run: %d steps, decided %d, crashed %v\n",
 		run.Report.Steps, len(run.Report.Decided), run.Report.Crashed)
 	if violation == nil {
-		fmt.Println("violation did NOT reproduce (artifact stale? code changed?)")
-		os.Exit(1)
+		fmt.Fprintln(out, "violation did NOT reproduce (artifact stale? code changed?)")
+		return 1
 	}
-	fmt.Printf("violation reproduced: %v\n", violation)
+	fmt.Fprintf(out, "violation reproduced: %v\n", violation)
+	// Classify the replayed run live — for schema-3 artifacts this
+	// cross-checks the recorded verdict, for older schemas it is the only
+	// classification the user sees.
+	fp := explore.Classify(run, a.Property)
+	fmt.Fprintf(out, "failure pattern: %s — %s\n", fp.Name, fp.Signature)
+	fmt.Fprintf(out, "  %s\n", fp.Narrative)
+	if a.PatternName != "" && a.PatternName != fp.Name {
+		fmt.Fprintf(out, "WARNING: artifact records pattern %q but the replayed run classifies as %q (classifier drift?)\n",
+			a.PatternName, fp.Name)
+	}
+	return 0
 }

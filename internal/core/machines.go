@@ -71,6 +71,13 @@ type fig1Machine struct {
 	// observes a detector change skips ahead two rounds instead of writing
 	// Stable[r]. Dead code under stable-from-0 histories (see mutant.go).
 	skipOnChange bool
+	// garbleDecide is the MutGarbledDecide mutation hook: the top-level
+	// commit writes and decides v+garbleOffset (see mutant.go).
+	garbleDecide bool
+	// garbleEcho is the MutGarbledEcho mutation hook: the citizen writes
+	// v+garbleOffset into D[r] instead of its value. Dead code while the
+	// detector output names every process (see mutant.go).
+	garbleEcho bool
 
 	decision sim.Value
 }
@@ -112,6 +119,9 @@ func (m *fig1Machine) Step(t sim.Time) sim.MachineStatus {
 			}
 		}
 	case f1WriteD:
+		if m.garbleDecide {
+			m.v += garbleOffset
+		}
 		g.d.DirectWrite(m.log, memory.Some(m.v))
 		m.decision = m.v
 		return sim.MachineDecided
@@ -145,7 +155,11 @@ func (m *fig1Machine) Step(t sim.Time) sim.MachineStatus {
 			m.pc = f1SubConv
 		}
 	case f1CitizenWrite:
-		m.dr.DirectWrite(m.log, memory.Some(m.v))
+		echo := m.v
+		if m.garbleEcho {
+			echo += garbleOffset
+		}
+		m.dr.DirectWrite(m.log, memory.Some(echo))
 		m.pc = f1LeaveReadDr
 	case f1SubConv:
 		if m.conv.StepOp() {
@@ -229,13 +243,22 @@ type fig2Machine struct {
 	seam   *sim.QuerySeam
 	pc     uint8
 
+	// minEntries is the gladiator scan threshold of lines 17-19 — the
+	// paper's n+1−f for the real protocol, perturbed by the Fig2 mutations
+	// (see mutant.go).
+	minEntries int
+	// skipOnChange is the MutF2SkipOnChange mutation hook: a re-query that
+	// observes a detector change skips ahead two rounds instead of writing
+	// Stable[r]. Dead code under stable-from-0 histories (see mutant.go).
+	skipOnChange bool
+
 	decision sim.Value
 }
 
 // Machine returns the Figure 2 automaton proposing the given value in
 // resumable step-machine form.
 func (g *Fig2) Machine(input sim.Value) sim.StepMachine {
-	return &fig2Machine{g: g, v: input}
+	return &fig2Machine{g: g, v: input, minEntries: g.n - g.f}
 }
 
 func (m *fig2Machine) Init(ctx sim.MachineContext) {
@@ -307,7 +330,7 @@ func (m *fig2Machine) Step(t sim.Time) sim.MachineStatus {
 		m.pc = f2SnapScan
 	case f2SnapScan:
 		m.scan = m.snap.DirectScan(m.log, m.scan[:0])
-		if memory.CountSome(m.scan) >= g.n-g.f {
+		if memory.CountSome(m.scan) >= m.minEntries {
 			m.v = minValue(m.scan) // line 25
 			param := m.u.Len() + g.f - g.n
 			if m.conv.Start(g.sub.At(m.r, m.k, param), m.v) {
@@ -340,7 +363,14 @@ func (m *fig2Machine) Step(t sim.Time) sim.MachineStatus {
 		}
 	case f2WaitQuery:
 		if u2 := fd.QueryAt[sim.Set](m.seam, g.upsilon, m.me, t); u2 != m.u {
-			m.pc = f2StableWrite
+			if m.skipOnChange {
+				// MutF2SkipOnChange: fast-forward past the next round's
+				// converge instead of publishing Stable[r] and adopting D[r].
+				m.r += 2
+				m.pc = f2ReadD
+			} else {
+				m.pc = f2StableWrite
+			}
 		} else {
 			m.pc = f2SnapScan
 		}
@@ -358,7 +388,13 @@ func (m *fig2Machine) Step(t sim.Time) sim.MachineStatus {
 		m.pc = f2LeaveReadDr
 	case f2ReQuery:
 		if u2 := fd.QueryAt[sim.Set](m.seam, g.upsilon, m.me, t); u2 != m.u {
-			m.pc = f2StableWrite
+			if m.skipOnChange {
+				// MutF2SkipOnChange: as above, skip two rounds on a change.
+				m.r += 2
+				m.pc = f2ReadD
+			} else {
+				m.pc = f2StableWrite
+			}
 		} else {
 			m.k++
 			m.pc = f2CycleReadD
@@ -419,6 +455,10 @@ type extractionMachine struct {
 	log     *sim.AccessLog
 	seam    *sim.QuerySeam
 	pc      uint8
+
+	// mut perturbs the output writes and re-query sites (see mutant.go);
+	// MutExNone is the real reduction.
+	mut ExtractMutation
 }
 
 // Machine returns the Figure 3 reduction automaton in resumable step-machine
@@ -496,7 +536,11 @@ func (m *extractionMachine) Step(t sim.Time) sim.MachineStatus {
 			m.pc = exD2Query
 		}
 	case exD2Query:
-		m.d2 = m.seam.Query(e.d, m.me, t)
+		if m.mut == MutExStaleLeader {
+			m.d2 = m.d // latch: republish the round-entry value
+		} else {
+			m.d2 = m.seam.Query(e.d, m.me, t)
+		}
 		m.ts++
 		m.pc = exD2Write
 	case exD2Write:
@@ -565,11 +609,21 @@ func (m *extractionMachine) Step(t sim.Time) sim.MachineStatus {
 		m.exited.DirectWrite(m.log, m.me, memory.Some[any](m.d)) // line 19
 		m.pc = exOutWrite
 	case exOutWrite:
-		e.out.DirectWrite(m.log, m.me, m.s)
+		out := m.s
+		switch m.mut {
+		case MutExFullOutput:
+			out = m.full
+		case MutExEmptyOutput:
+			out = sim.EmptySet
+		}
+		e.out.DirectWrite(m.log, m.me, out)
 		m.sSet = true
 		m.pc = exChangedRead
 	case exExitQuery:
-		m.d = m.seam.Query(e.d, m.me, t)
+		// MutExStaleLeader skips the re-query, keeping the latched value.
+		if m.mut != MutExStaleLeader {
+			m.d = m.seam.Query(e.d, m.me, t)
+		}
 		m.ts++
 		m.pc = exExitWrite
 	case exExitWrite:

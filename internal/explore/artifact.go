@@ -39,6 +39,12 @@ type Artifact struct {
 	// Property and Violation record what failed and how.
 	Property  string `json:"property"`
 	Violation string `json:"violation"`
+	// PatternName and Narrative (schema 3) record the named failure pattern
+	// the classifier assigned to the shrunk witness and its human-readable
+	// story; `fdlab replay` prints both, and the corpus regression tests
+	// assert the classification reproduces.
+	PatternName string `json:"pattern,omitempty"`
+	Narrative   string `json:"narrative,omitempty"`
 }
 
 // ArtifactFlip is one recorded pre-stabilization phase: the history outputs
@@ -51,23 +57,23 @@ type ArtifactFlip struct {
 // newArtifact assembles the artifact for one shrunk violation. The recorded
 // configuration is the *witness* configuration — the shrinker may have
 // dropped crashes, shrunk the oracle, and dropped or delayed history flips
-// relative to the discovery run. Artifacts without flips stay at schema 1
-// (older readers replay them unchanged); an unstable witness is schema 2.
-func newArtifact(cfg Config, run *Run, property string, w witness) *Artifact {
-	schema := 1
-	if len(w.oracle.Flips) > 0 {
-		schema = 2
-	}
+// relative to the discovery run. Every newly emitted artifact is schema 3
+// (classification always present); ReadArtifact still accepts schema 1
+// (stable-from-0, unclassified) and 2 (flips, unclassified) files from
+// earlier explorer versions.
+func newArtifact(cfg Config, run *Run, property string, w witness, fp FailurePattern) *Artifact {
 	a := &Artifact{
-		Schema:     schema,
-		System:     run.System,
-		N:          cfg.System.N(),
-		F:          cfg.System.MaxFaults(),
-		OracleName: w.oracle.Name,
-		OracleSeed: w.oracle.Seed,
-		Budget:     cfg.Budget,
-		Property:   property,
-		Violation:  w.message,
+		Schema:      3,
+		System:      run.System,
+		N:           cfg.System.N(),
+		F:           cfg.System.MaxFaults(),
+		OracleName:  w.oracle.Name,
+		OracleSeed:  w.oracle.Seed,
+		Budget:      cfg.Budget,
+		Property:    property,
+		Violation:   w.message,
+		PatternName: fp.Name,
+		Narrative:   fp.Narrative,
 	}
 	for _, v := range run.Proposals {
 		a.Proposals = append(a.Proposals, int64(v))
@@ -114,17 +120,33 @@ func ReadArtifact(path string) (*Artifact, error) {
 	if err := json.Unmarshal(data, &a); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	if a.Schema != 1 && a.Schema != 2 {
+	if a.Schema < 1 || a.Schema > 3 {
 		return nil, fmt.Errorf("%s: unsupported artifact schema %d", path, a.Schema)
 	}
 	// The schema is the flip marker: a schema-1 file with flips would replay
 	// as a stable-from-0 history on a pre-flip reader (which drops the
 	// unknown field) and as an unstable one here — reject the divergence.
+	// Schema 3 carries the flip fields natively, so flips are optional there.
 	if a.Schema == 1 && len(a.OracleFlips) > 0 {
 		return nil, fmt.Errorf("%s: schema 1 artifact carries oracle_flips; unstable witnesses are schema 2", path)
 	}
 	if a.Schema == 2 && len(a.OracleFlips) == 0 {
 		return nil, fmt.Errorf("%s: schema 2 artifact has no oracle_flips; stable witnesses are schema 1", path)
+	}
+	// The schema is likewise the classification marker: pre-classifier
+	// readers would silently drop the pattern fields, so their presence
+	// pins the schema at 3 — and a schema-3 file must name a pattern the
+	// library knows, or replay would print an unverifiable narrative.
+	if a.Schema < 3 && (a.PatternName != "" || a.Narrative != "") {
+		return nil, fmt.Errorf("%s: schema %d artifact carries a failure-pattern classification; classified artifacts are schema 3", path, a.Schema)
+	}
+	if a.Schema == 3 {
+		if a.PatternName == "" {
+			return nil, fmt.Errorf("%s: schema 3 artifact has no failure pattern; unclassified artifacts are schema 1 or 2", path)
+		}
+		if _, ok := PatternByName(a.PatternName); !ok {
+			return nil, fmt.Errorf("%s: unknown failure pattern %q", path, a.PatternName)
+		}
 	}
 	// Validate the flip schedule at load time: callers print flip lines
 	// straight from a loaded artifact, assuming ascending Until and
@@ -204,6 +226,16 @@ func (a *Artifact) Replay(hook func(idx int, t sim.Time, enabled sim.Set, chosen
 	flips, err := a.flipPhases()
 	if err != nil {
 		return nil, nil, err
+	}
+	// Range-check every pre-stabilization phase output against the system's
+	// detector range: flipVariants only ever enumerates in-range outputs, so
+	// this guards the hand-edited path — an artifact whose flip outputs a
+	// Υ^f set below n+1−f (or a non-singleton for an Ω source) would indict
+	// the environment, not the protocol, and must not replay.
+	for i, f := range flips {
+		if err := sys.LegalFlipOut(f.Out); err != nil {
+			return nil, nil, fmt.Errorf("explore: oracle_flips[%d]: %w", i, err)
+		}
 	}
 	oracle.Flips = flips
 	// Reject an illegal stable set here with a proper error — Instantiate

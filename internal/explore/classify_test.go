@@ -1,0 +1,203 @@
+package explore
+
+import (
+	"testing"
+
+	"weakestfd/internal/sim"
+)
+
+// TestPatternLibraryIntegrity pins the taxonomy's invariants: stable unique
+// names, complete signature/narrative text, and "unclassified" as the final
+// fallback entry.
+func TestPatternLibraryIntegrity(t *testing.T) {
+	pats := Patterns()
+	if len(pats) == 0 {
+		t.Fatal("empty pattern library")
+	}
+	seen := make(map[string]bool)
+	for _, p := range pats {
+		if p.Name == "" || p.Signature == "" || p.Narrative == "" {
+			t.Errorf("pattern %+v has empty fields", p)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate pattern name %q", p.Name)
+		}
+		seen[p.Name] = true
+		got, ok := PatternByName(p.Name)
+		if !ok || got.Name != p.Name {
+			t.Errorf("PatternByName(%q) did not round-trip", p.Name)
+		}
+	}
+	if pats[len(pats)-1].Name != "unclassified" {
+		t.Errorf("last library entry is %q, want the unclassified fallback", pats[len(pats)-1].Name)
+	}
+	if _, ok := PatternByName("no-such-pattern"); ok {
+		t.Error("PatternByName resolved an unknown name")
+	}
+}
+
+// syntheticAccess is one step of a hand-built access trace.
+type syntheticAccess struct {
+	pid  sim.PID
+	obj  string
+	kind sim.AccessKind
+}
+
+func syntheticLog(steps []syntheticAccess) *sim.AccessLog {
+	log := sim.NewAccessLog()
+	for _, s := range steps {
+		log.BeginStep()
+		log.Record(log.Intern(s.obj), s.kind)
+		log.EndStep(s.pid)
+	}
+	return log
+}
+
+// classifyRun builds the minimal Run the classifier inspects.
+func classifyRun(pattern sim.Pattern, flips []FlipPhase, decided map[sim.PID]sim.Value, log *sim.AccessLog, stable sim.Set) *Run {
+	return &Run{
+		Pattern:      pattern,
+		Oracle:       OracleChoice{Stable: sim.SetOf(0), Flips: flips},
+		Report:       &sim.Report{Decided: decided, Accesses: log},
+		StableOutput: stable,
+	}
+}
+
+// TestClassifySignatures drives every classifier branch on synthetic witness
+// runs, pinning the precedence order of the library.
+func TestClassifySignatures(t *testing.T) {
+	ff2 := sim.FailFree(2)
+	crash := sim.CrashPattern(2, map[sim.PID]sim.Time{1: 5})
+	flip := []FlipPhase{{Until: 10, Out: sim.SetOf(1)}}
+	decided := map[sim.PID]sim.Value{0: 100}
+
+	// A round gap in one process's round-indexed accesses (D[1] then D[3]).
+	skipLog := func() *sim.AccessLog {
+		return syntheticLog([]syntheticAccess{
+			{0, "D[1]", sim.AccessRead},
+			{1, "D[1]", sim.AccessRead},
+			{1, "D[2]", sim.AccessRead},
+			{0, "D[3]", sim.AccessRead},
+		})
+	}
+	// The decider p1's last read of a converge register precedes p0's write.
+	convRace := syntheticLog([]syntheticAccess{
+		{1, "nconv[1][0]/param.A", sim.AccessRead},
+		{0, "nconv[1][0]/param.A", sim.AccessWrite},
+	})
+	// Same race on a fig2 snapshot entry.
+	snapRace := syntheticLog([]syntheticAccess{
+		{1, "A[1][1]/2", sim.AccessRead},
+		{0, "A[1][1]/2", sim.AccessWrite},
+	})
+
+	cases := []struct {
+		name     string
+		run      *Run
+		property string
+		want     string
+	}{
+		{"validity", classifyRun(ff2, nil, decided, nil, 0), "validity", "unproposed-decision"},
+		{"termination with crash", classifyRun(crash, nil, nil, nil, 0), "termination-of-correct", "crash-stalled-wait"},
+		{"termination failure-free", classifyRun(ff2, nil, nil, nil, 0), "termination-of-correct", "commit-starvation"},
+		{"empty output", classifyRun(ff2, nil, nil, nil, sim.EmptySet), "upsilon-sanity", "empty-detector-output"},
+		{"correct-set output with flip", classifyRun(ff2, flip, nil, nil, ff2.Correct()), "upsilon-sanity", "stale-leader-latch"},
+		{"correct-set output stable-from-0", classifyRun(ff2, nil, nil, nil, ff2.Correct()), "upsilon-sanity", "correct-set-output"},
+		{"range-breaking output", classifyRun(crash, nil, nil, nil, sim.SetOf(1)), "upsilon-sanity", "undersized-output"},
+		{"round skip with flip", classifyRun(ff2, flip, decided, skipLog(), 0), "agreement", "adopt-skipped-after-flip"},
+		{"round skip without flip", classifyRun(ff2, nil, decided, skipLog(), 0), "agreement", "adopt-skipped-on-change"},
+		{"snapshot race", classifyRun(ff2, nil, map[sim.PID]sim.Value{1: 101}, snapRace, 0), "agreement", "stale-snapshot-decide"},
+		{"converge race", classifyRun(ff2, nil, map[sim.PID]sim.Value{1: 101}, convRace, 0), "agreement", "wrong-adopt-order"},
+		{"flip-gated", classifyRun(ff2, flip, decided, nil, 0), "agreement", "flip-gated-divergence"},
+		{"fallback", classifyRun(ff2, nil, decided, nil, 0), "agreement", "unclassified"},
+		{"unknown property", classifyRun(ff2, nil, decided, nil, 0), "no-such-property", "unclassified"},
+	}
+	for _, c := range cases {
+		if got := Classify(c.run, c.property); got.Name != c.want {
+			t.Errorf("%s: classified %q, want %q", c.name, got.Name, c.want)
+		}
+	}
+}
+
+// TestRoundIndexedObj pins which access-log object names carry a protocol
+// round index.
+func TestRoundIndexedObj(t *testing.T) {
+	cases := []struct {
+		name  string
+		round int
+		ok    bool
+	}{
+		{"D[1]", 1, true},
+		{"D[12]", 12, true},
+		{"Stable[3]", 3, true},
+		{"A[2][1]/2", 2, true},
+		{"nconv[4][1]/param.A", 4, true},
+		{"gconv[7][2]/param.B", 7, true},
+		{"fconv[5][0]/commit", 5, true},
+		{"D", 0, false},          // the decision register has no round
+		{"R", 0, false},          // extraction registers are not rounds
+		{"H(U)", 0, false},       // detector histories are not rounds
+		{"Changed[2]", 0, false}, // extraction state, excluded by prefix
+		{"D[x]", 0, false},       // non-numeric index
+		{"D[]", 0, false},        // empty index
+	}
+	for _, c := range cases {
+		r, ok := roundIndexedObj(c.name)
+		if ok != c.ok || (ok && r != c.round) {
+			t.Errorf("roundIndexedObj(%q) = (%d,%v), want (%d,%v)", c.name, r, ok, c.round, c.ok)
+		}
+	}
+}
+
+// TestRoundSkipperContiguous asserts the skipper detector stays quiet on
+// contiguous round traces and on processes with a single round.
+func TestRoundSkipperContiguous(t *testing.T) {
+	log := syntheticLog([]syntheticAccess{
+		{0, "D[1]", sim.AccessRead},
+		{0, "D[2]", sim.AccessRead},
+		{0, "D[3]", sim.AccessRead},
+		{1, "D[5]", sim.AccessRead},
+	})
+	run := classifyRun(sim.FailFree(2), nil, nil, log, 0)
+	if p := roundSkipper(run); p != -1 {
+		t.Fatalf("roundSkipper flagged %v on a contiguous trace", p)
+	}
+	if p := roundSkipper(classifyRun(sim.FailFree(2), nil, nil, nil, 0)); p != -1 {
+		t.Fatalf("roundSkipper flagged %v with no access log", p)
+	}
+}
+
+// TestDeciderMissedWriteDirection asserts the race detector requires the
+// write to land strictly after the decider's last read, by a different
+// process, and only counts deciding processes.
+func TestDeciderMissedWriteDirection(t *testing.T) {
+	obj := "nconv[1][0]/param.A"
+	decided := map[sim.PID]sim.Value{1: 101}
+	// Write before the last read: no race.
+	before := syntheticLog([]syntheticAccess{
+		{0, obj, sim.AccessWrite},
+		{1, obj, sim.AccessRead},
+	})
+	if deciderMissedWrite(classifyRun(sim.FailFree(2), nil, decided, before, 0), isConvergeObj) {
+		t.Error("write preceding the last read counted as a missed write")
+	}
+	// Same-process write after own read: no race.
+	own := syntheticLog([]syntheticAccess{
+		{1, obj, sim.AccessRead},
+		{1, obj, sim.AccessWrite},
+	})
+	if deciderMissedWrite(classifyRun(sim.FailFree(2), nil, decided, own, 0), isConvergeObj) {
+		t.Error("a process's own later write counted as a missed write")
+	}
+	// Racing reader never decided: no race.
+	race := syntheticLog([]syntheticAccess{
+		{1, obj, sim.AccessRead},
+		{0, obj, sim.AccessWrite},
+	})
+	if deciderMissedWrite(classifyRun(sim.FailFree(2), nil, map[sim.PID]sim.Value{0: 100}, race, 0), isConvergeObj) {
+		t.Error("a non-deciding reader counted as a missed-write victim")
+	}
+	if !deciderMissedWrite(classifyRun(sim.FailFree(2), nil, decided, race, 0), isConvergeObj) {
+		t.Error("the genuine missed write went undetected")
+	}
+}

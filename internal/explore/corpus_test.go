@@ -1,0 +1,89 @@
+package explore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The committed counterexample corpus: one shrunk schema-3 artifact per
+// mutant-zoo entry, checked in under testdata/corpus/. TestCorpus is the
+// regression gate — every artifact must still replay to its recorded
+// violation and classify to its recorded failure pattern, so any refactor
+// of the simulator, the protocols, or the classifier that silently changes
+// a witness's meaning fails loudly. TestCorpusRegen (CORPUS_REGEN=1)
+// rebuilds the corpus from the zoo after an intentional change.
+
+const corpusDir = "testdata/corpus"
+
+// TestCorpusRegen regenerates the committed corpus by killing every zoo
+// mutant at its recorded configuration and writing the shrunk artifact.
+// Skipped unless CORPUS_REGEN=1: the deep entries (broken-adopt sweeps)
+// take tens of seconds, and regeneration is only meant to follow a
+// deliberate witness-changing commit.
+func TestCorpusRegen(t *testing.T) {
+	if os.Getenv("CORPUS_REGEN") == "" {
+		t.Skip("set CORPUS_REGEN=1 to regenerate the committed corpus")
+	}
+	if err := os.MkdirAll(corpusDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range MutantZoo() {
+		m := m
+		t.Run(m.System, func(t *testing.T) {
+			t.Parallel()
+			v, res, err := m.Kill()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v == nil {
+				t.Fatalf("mutant survived %d runs — no artifact to record", res.Runs)
+			}
+			if v.FailurePattern != m.Pattern {
+				t.Fatalf("kill classified %q, zoo documents %q", v.FailurePattern, m.Pattern)
+			}
+			path := filepath.Join(corpusDir, m.System+".json")
+			if err := v.Artifact.WriteFile(path); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("wrote %s: %s under %s, pattern %s",
+				path, v.Property, v.WitnessPattern, v.FailurePattern)
+		})
+	}
+}
+
+// TestCorpus replays every committed artifact and asserts (a) the recorded
+// violation reproduces and (b) the classifier still assigns the recorded
+// failure pattern to the replayed run.
+func TestCorpus(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join(corpusDir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 8 {
+		t.Fatalf("corpus holds %d artifacts, want >= 8 (regenerate with CORPUS_REGEN=1 go test -run TestCorpusRegen)", len(paths))
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			t.Parallel()
+			a, err := ReadArtifact(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Schema != 3 {
+				t.Fatalf("corpus artifact has schema %d, want classified schema 3", a.Schema)
+			}
+			run, violation, err := a.Replay(nil)
+			if err != nil {
+				t.Fatalf("replay: %v", err)
+			}
+			if violation == nil {
+				t.Fatalf("recorded %s violation did not reproduce", a.Property)
+			}
+			if got := Classify(run, a.Property); got.Name != a.PatternName {
+				t.Errorf("replayed run classified %q, artifact records %q", got.Name, a.PatternName)
+			}
+		})
+	}
+}

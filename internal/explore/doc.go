@@ -98,19 +98,40 @@
 // set is shrunk to the smallest legal value, and the history's flip
 // schedule is minimized (drop phases, then move each surviving flip later)
 // — every candidate re-replayed through sim.FixedSchedule and kept only if
-// the same property still fails. The result is emitted as a JSON Artifact
-// recording the witness configuration, flips included (schema 2 when
-// unstable); `fdlab replay` re-executes it deterministically, step for
-// step, printing the detector flip events and, with -trace, each step's
-// recorded access set — history-object reads and flip writes included.
+// the same property still fails. The shrunk witness is then *classified*:
+// Classify matches the run's structural features — which property failed,
+// whether a crash or a history flip is load-bearing, round gaps in the
+// access trace's round-indexed objects, a decider's stale read of a
+// converge register or snapshot entry another process overwrote — against
+// the named failure-pattern library of classify.go, yielding a
+// FailurePattern with a one-line signature and a human-readable narrative
+// of how the interleaving broke the protocol. The result is emitted as a
+// JSON Artifact recording the witness configuration, flips included, plus
+// the pattern name and narrative (schema 3; schemas 1 and 2 from earlier
+// explorer versions still load). `fdlab replay` re-executes it
+// deterministically, step for step, printing the detector flip events, the
+// reproduced violation and its classification and, with -trace, each
+// step's recorded access set — history-object reads and flip writes
+// included. Replay validates hand-edited artifacts: every recorded flip
+// output must lie in the system's detector *range* (Υ^f sets of size
+// ≥ n+1−f, Ω singletons), or the replay would indict the environment
+// rather than the protocol.
 //
-// The package proves its own worth by mutation: internal/explore's tests
-// show both engines find and shrink an agreement violation in a fig1
-// variant with a broken converge adopt rule (core.MutWrongAdopt) that every
-// seeded-random suite in this repository misses, and find none across the
-// real protocols' standard sweep. The SwitchBudget dimension has its own
-// calibration mutant, fig1-skip-on-change (core.MutSkipOnChange): provably
-// correct under every stable-from-0 history — its broken branch is dead
-// code there — yet agreement-violating under a single pre-stabilization
-// output switch, so only a SwitchBudget >= 1 sweep can catch it.
+// The package proves its own worth by mutation. The mutant zoo
+// (mutants.go) pairs every registered broken variant of the four protocol
+// systems — fig1, fig2, extract-omega, composed, at least three mutants
+// each — with the cheapest exploration configuration known to kill it and
+// the failure pattern the kill must classify to; TestMutantZoo and the CI
+// mutant-gate job sweep all of them. The committed corpus under
+// testdata/corpus/ holds one shrunk schema-3 artifact per zoo entry, and
+// TestCorpus replays each against the current code, asserting both the
+// violation and its classification reproduce — a regression net over the
+// simulator, the protocols, the shrinker and the classifier at once. Two
+// zoo lineages calibrate specific explorer dimensions: fig1-skip-on-change
+// (core.MutSkipOnChange) is provably correct under every stable-from-0
+// history — its broken branch is dead code there — yet agreement-violating
+// under a single pre-stabilization output switch, so only a SwitchBudget
+// >= 1 sweep catches it; fig1-garbled-echo (core.MutGarbledEcho) is dead
+// code under stable output Π, so only the oracle enumeration's
+// proper-subset stable sets reach its poisoned citizen echo.
 package explore

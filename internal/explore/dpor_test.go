@@ -52,6 +52,8 @@ func (s toySystem) Oracles(sim.Pattern, SwitchPlan) []OracleChoice {
 }
 func (s toySystem) Properties() []Property { return s.props }
 
+func (s toySystem) LegalFlipOut(sim.Set) error { return nil }
+
 func (s toySystem) Instantiate(sim.Pattern, OracleChoice) Instance {
 	if s.disjoint {
 		// Each process owns a private counter: every pair of steps of

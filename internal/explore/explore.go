@@ -160,6 +160,11 @@ type Violation struct {
 	// ShrunkSteps the length of the shrunk schedule prefix.
 	Steps       int64
 	ShrunkSteps int
+	// FailurePattern is the named failure pattern the classifier assigned to
+	// the shrunk witness, and Narrative its human-readable story (see
+	// classify.go). Both are recorded in the Artifact (schema 3).
+	FailurePattern string
+	Narrative      string
 	// Artifact is the replayable counterexample.
 	Artifact *Artifact
 }
@@ -491,6 +496,12 @@ func (e *explorer) check(run *Run, pattern sim.Pattern, oracle OracleChoice) int
 		if w.message == "" {
 			w.message = err.Error()
 		}
+		// Re-execute the shrunk witness with an access log so the classifier
+		// sees the minimized trace's structural features (the exploration
+		// runs themselves are unrecorded for speed).
+		wrun := execute(e.cfg.System, w.pattern, w.oracle,
+			sim.NewFixedSchedule(w.schedule), e.cfg.Budget, sim.NewAccessLog())
+		fp := Classify(wrun, prop.Name())
 		v := &Violation{
 			Property:       prop.Name(),
 			Message:        w.message,
@@ -500,7 +511,9 @@ func (e *explorer) check(run *Run, pattern sim.Pattern, oracle OracleChoice) int
 			WitnessOracle:  w.oracle.Name,
 			Steps:          run.Report.Steps,
 			ShrunkSteps:    len(w.schedule),
-			Artifact:       newArtifact(e.cfg, run, prop.Name(), w),
+			FailurePattern: fp.Name,
+			Narrative:      fp.Narrative,
+			Artifact:       newArtifact(e.cfg, run, prop.Name(), w, fp),
 		}
 		e.mu.Lock()
 		e.found = append(e.found, v)

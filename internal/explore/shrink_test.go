@@ -69,7 +69,7 @@ func TestShrinkDropsIrrelevantCrash(t *testing.T) {
 	}
 
 	// The witness must round-trip through an artifact replay.
-	a := newArtifact(cfg, run, prop.Name(), w)
+	a := newArtifact(cfg, run, prop.Name(), w, mustPattern("unclassified"))
 	if len(a.Crashes) != 0 {
 		t.Fatalf("artifact kept crashes: %v", a.Crashes)
 	}

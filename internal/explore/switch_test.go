@@ -83,8 +83,15 @@ func TestSwitchMutantCaughtAtBudgetOne(t *testing.T) {
 	if len(v.Artifact.OracleFlips) == 0 {
 		t.Fatalf("witness artifact carries no flip schedule; the violation should be unreachable without one: %v", v)
 	}
-	if v.Artifact.Schema != 2 {
-		t.Errorf("unstable witness artifact has schema %d, want 2", v.Artifact.Schema)
+	if v.Artifact.Schema != 3 {
+		t.Errorf("witness artifact has schema %d, want 3 (classified)", v.Artifact.Schema)
+	}
+	if v.FailurePattern != "adopt-skipped-after-flip" {
+		t.Errorf("classified as %q, want adopt-skipped-after-flip", v.FailurePattern)
+	}
+	if v.Artifact.PatternName != v.FailurePattern || v.Artifact.Narrative == "" {
+		t.Errorf("artifact classification %q/%d-byte narrative does not mirror the violation's %q",
+			v.Artifact.PatternName, len(v.Artifact.Narrative), v.FailurePattern)
 	}
 	if !strings.Contains(v.WitnessOracle, "pre[") {
 		t.Errorf("witness oracle name %q does not render the unstable prefix", v.WitnessOracle)
@@ -144,11 +151,21 @@ func TestArtifactRejectsMalformed(t *testing.T) {
 		return path
 	}
 
-	if _, err := ReadArtifact(write(func(a *Artifact) { a.Schema = 1 })); err == nil {
+	declassify := func(a *Artifact) { a.PatternName, a.Narrative = "", "" }
+	if _, err := ReadArtifact(write(func(a *Artifact) { a.Schema = 1; declassify(a) })); err == nil {
 		t.Error("schema-1 artifact with oracle_flips was accepted")
 	}
-	if _, err := ReadArtifact(write(func(a *Artifact) { a.OracleFlips = nil })); err == nil {
+	if _, err := ReadArtifact(write(func(a *Artifact) { a.Schema = 2; a.OracleFlips = nil; declassify(a) })); err == nil {
 		t.Error("schema-2 artifact without oracle_flips was accepted")
+	}
+	if _, err := ReadArtifact(write(func(a *Artifact) { a.Schema = 2 })); err == nil {
+		t.Error("schema-2 artifact carrying a classification was accepted")
+	}
+	if _, err := ReadArtifact(write(declassify)); err == nil {
+		t.Error("schema-3 artifact without a failure pattern was accepted")
+	}
+	if _, err := ReadArtifact(write(func(a *Artifact) { a.PatternName = "no-such-pattern" })); err == nil {
+		t.Error("schema-3 artifact naming an unknown pattern was accepted")
 	}
 
 	a, err := ReadArtifact(write(func(a *Artifact) {

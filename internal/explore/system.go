@@ -86,6 +86,14 @@ type System interface {
 	// every legal stable value, expanded by every flip schedule the switch
 	// plan allows (a zero plan keeps the histories stable from time 0).
 	Oracles(pattern sim.Pattern, plan SwitchPlan) []OracleChoice
+	// LegalFlipOut validates one pre-stabilization phase output against the
+	// system's detector *range* (which constrains every output, not just the
+	// eventual one): Υ^f phases must be sets of size ≥ n+1−f, Ω phases
+	// singletons. Artifact.Replay applies it to hand-edited flip schedules;
+	// the enumeration (flipVariants over upsilonRange/omegaRange) only
+	// produces outputs that pass. Systems without an oracle reject every
+	// flip.
+	LegalFlipOut(out sim.Set) error
 	// Instantiate builds one run's machines and hooks.
 	Instantiate(pattern sim.Pattern, o OracleChoice) Instance
 	// Properties are the claims checked on every completed run.
@@ -103,12 +111,34 @@ func NewSystem(name string, n, f int) (System, error) {
 		return BrokenFig1System(n), nil
 	case "fig1-skip-on-change":
 		return SkipOnChangeFig1System(n), nil
+	case "fig1-garbled-decide":
+		return GarbledFig1System(n), nil
+	case "fig1-garbled-echo":
+		return GarbledEchoFig1System(n), nil
 	case "fig2":
 		return Fig2System(n, f), nil
+	case "fig2-broken-adopt":
+		return BrokenAdoptFig2System(n, f), nil
+	case "fig2-skip-on-change":
+		return SkipOnChangeFig2System(n, f), nil
+	case "fig2-starved-wait":
+		return StarvedWaitFig2System(n, f), nil
 	case "extract-omega":
 		return ExtractOmegaSystem(n), nil
+	case "extract-full-output":
+		return FullOutputExtractSystem(n), nil
+	case "extract-empty-output":
+		return EmptyOutputExtractSystem(n), nil
+	case "extract-stale-leader":
+		return StaleLeaderExtractSystem(n), nil
 	case "composed":
 		return ComposedSystem(n), nil
+	case "composed-broken-adopt":
+		return BrokenAdoptComposedSystem(n), nil
+	case "composed-garbled-echo":
+		return GarbledEchoComposedSystem(n), nil
+	case "composed-garbled-decide":
+		return GarbledComposedSystem(n), nil
 	case "timed-composed":
 		return TimedComposedSystem(n), nil
 	default:
@@ -116,9 +146,18 @@ func NewSystem(name string, n, f int) (System, error) {
 	}
 }
 
-// SystemNames lists the registry, for CLI help.
+// SystemNames lists the registry, for CLI help: the real systems first,
+// then each protocol family's mutants (the zoo in mutants.go pairs every
+// mutant with its expected killing configuration and failure pattern).
 func SystemNames() []string {
-	return []string{"fig1", "fig1-broken-adopt", "fig1-skip-on-change", "fig2", "extract-omega", "composed", "timed-composed"}
+	return []string{
+		"fig1", "fig2", "extract-omega", "composed", "timed-composed",
+		"fig1-broken-adopt", "fig1-skip-on-change", "fig1-garbled-decide",
+		"fig1-garbled-echo",
+		"fig2-broken-adopt", "fig2-skip-on-change", "fig2-starved-wait",
+		"extract-full-output", "extract-empty-output", "extract-stale-leader",
+		"composed-broken-adopt", "composed-garbled-echo", "composed-garbled-decide",
+	}
 }
 
 // canonicalProposals returns the explorer's fixed inputs 100..100+n−1:
@@ -217,12 +256,29 @@ func BrokenFig1System(n int) System { return fig1System{n: n, mut: core.MutWrong
 // SwitchBudget>=1.
 func SkipOnChangeFig1System(n int) System { return fig1System{n: n, mut: core.MutSkipOnChange} }
 
+// GarbledFig1System is Figure 1 with the commit path corrupted
+// (core.MutGarbledDecide): every deciding run writes an unproposed value,
+// so the root fair run already violates Validity — the cheapest mutant in
+// the zoo, pinning the validity property end to end.
+func GarbledFig1System(n int) System { return fig1System{n: n, mut: core.MutGarbledDecide} }
+
+// GarbledEchoFig1System is Figure 1 with the citizen echo corrupted
+// (core.MutGarbledEcho): dead code under stable output Π, but any stable
+// Υ output that excludes a live process turns that process into a citizen
+// whose poisoned D[r] echo everyone leaving the round adopts — the oracle
+// enumeration alone (no schedule branching) reaches the kill.
+func GarbledEchoFig1System(n int) System { return fig1System{n: n, mut: core.MutGarbledEcho} }
+
 func (s fig1System) Name() string {
 	switch s.mut {
 	case core.MutWrongAdopt:
 		return "fig1-broken-adopt"
 	case core.MutSkipOnChange:
 		return "fig1-skip-on-change"
+	case core.MutGarbledDecide:
+		return "fig1-garbled-decide"
+	case core.MutGarbledEcho:
+		return "fig1-garbled-echo"
 	}
 	return "fig1"
 }
@@ -233,6 +289,10 @@ func (s fig1System) MaxFaults() int { return s.n - 1 }
 func (s fig1System) Oracles(pattern sim.Pattern, plan SwitchPlan) []OracleChoice {
 	spec := core.Upsilon(s.n)
 	return flipVariants(legalStableSets(spec, pattern), upsilonRange(s.n, spec.MinSize()), plan)
+}
+
+func (s fig1System) LegalFlipOut(out sim.Set) error {
+	return upsilonFlipOut(core.Upsilon(s.n), out)
 }
 
 func (s fig1System) Instantiate(pattern sim.Pattern, o OracleChoice) Instance {
@@ -260,13 +320,50 @@ func (s fig1System) Properties() []Property {
 
 type fig2System struct {
 	n, f int
+	mut  core.Fig2Mutation
 }
 
 // Fig2System explores the paper's Figure 2: Υ^f-based f-set agreement among
 // n processes in E_f.
 func Fig2System(n, f int) System { return fig2System{n: n, f: f} }
 
-func (s fig2System) Name() string   { return "fig2" }
+// BrokenAdoptFig2System is Figure 2 with the converge adopt rule broken
+// (core.MutF2WrongAdopt): the top-level (f)-converge race yields two solo
+// commits of different values, violating f-set Agreement — the same shape
+// as fig1-broken-adopt, proving the explorer's reach extends to Figure 2.
+func BrokenAdoptFig2System(n, f int) System {
+	return fig2System{n: n, f: f, mut: core.MutF2WrongAdopt}
+}
+
+// SkipOnChangeFig2System is Figure 2 with the detector-change escape
+// broken (core.MutF2SkipOnChange): a gladiator observing a Υ^f change at a
+// re-query skips two rounds with its current value instead of writing
+// Stable[r] and adopting D[r]. Dead code under stable-from-0 histories —
+// only a SwitchBudget sweep reaches it, mirroring fig1-skip-on-change.
+func SkipOnChangeFig2System(n, f int) System {
+	return fig2System{n: n, f: f, mut: core.MutF2SkipOnChange}
+}
+
+// StarvedWaitFig2System is Figure 2 with the gladiator scan threshold
+// raised to all n entries (core.MutF2StarvedWait): one crashed gladiator
+// parks every correct one in the lines 17-19 wait loop forever — a
+// termination failure whose witness crash is load-bearing.
+func StarvedWaitFig2System(n, f int) System {
+	return fig2System{n: n, f: f, mut: core.MutF2StarvedWait}
+}
+
+func (s fig2System) Name() string {
+	switch s.mut {
+	case core.MutF2WrongAdopt:
+		return "fig2-broken-adopt"
+	case core.MutF2SkipOnChange:
+		return "fig2-skip-on-change"
+	case core.MutF2StarvedWait:
+		return "fig2-starved-wait"
+	}
+	return "fig2"
+}
+
 func (s fig2System) N() int         { return s.n }
 func (s fig2System) MaxFaults() int { return s.f }
 
@@ -275,13 +372,17 @@ func (s fig2System) Oracles(pattern sim.Pattern, plan SwitchPlan) []OracleChoice
 	return flipVariants(legalStableSets(spec, pattern), upsilonRange(s.n, spec.MinSize()), plan)
 }
 
+func (s fig2System) LegalFlipOut(out sim.Set) error {
+	return upsilonFlipOut(core.UpsilonF(s.n, s.f), out)
+}
+
 func (s fig2System) Instantiate(pattern sim.Pattern, o OracleChoice) Instance {
 	h := upsilonHistory(core.UpsilonF(s.n, s.f), pattern, o)
 	g := core.NewFig2(s.n, s.f, h, converge.UseAtomic)
 	proposals := canonicalProposals(s.n)
 	machines := make([]sim.StepMachine, s.n)
 	for i := range machines {
-		machines[i] = g.Machine(proposals[i])
+		machines[i] = g.MutantMachine(proposals[i], s.mut)
 	}
 	return Instance{
 		Machines:  machines,
@@ -299,7 +400,8 @@ func (s fig2System) Properties() []Property {
 // Figure 3 extraction from Ω
 
 type extractSystem struct {
-	n int
+	n   int
+	mut core.ExtractMutation
 }
 
 // ExtractOmegaSystem explores the Figure 3 reduction extracting Υ from a
@@ -308,9 +410,46 @@ type extractSystem struct {
 // value for the pattern (in particular, not the correct set).
 func ExtractOmegaSystem(n int) System { return extractSystem{n: n} }
 
-func (s extractSystem) Name() string   { return "extract-omega" }
+// FullOutputExtractSystem is the extraction writing Π instead of φ_D's set
+// at the output switch (core.MutExFullOutput): under a failure-free pattern
+// the outputs settle on Π = correct, the one value Υ may never settle on.
+func FullOutputExtractSystem(n int) System {
+	return extractSystem{n: n, mut: core.MutExFullOutput}
+}
+
+// EmptyOutputExtractSystem is the extraction writing ∅ at the output switch
+// (core.MutExEmptyOutput): the settled output violates Υ's range in every
+// pattern.
+func EmptyOutputExtractSystem(n int) System {
+	return extractSystem{n: n, mut: core.MutExEmptyOutput}
+}
+
+// StaleLeaderExtractSystem is the extraction that latches its first
+// detector query forever (core.MutExStaleLeader): one pre-stabilization
+// flip of the Ω source — outputting a crashed process until the first query
+// — makes it settle on complement({crashed}) = correct. Both the flip and
+// the crash are load-bearing, making this the SwitchBudget calibration
+// mutant of the extraction family.
+func StaleLeaderExtractSystem(n int) System {
+	return extractSystem{n: n, mut: core.MutExStaleLeader}
+}
+
+func (s extractSystem) Name() string {
+	switch s.mut {
+	case core.MutExFullOutput:
+		return "extract-full-output"
+	case core.MutExEmptyOutput:
+		return "extract-empty-output"
+	case core.MutExStaleLeader:
+		return "extract-stale-leader"
+	}
+	return "extract-omega"
+}
+
 func (s extractSystem) N() int         { return s.n }
 func (s extractSystem) MaxFaults() int { return s.n - 1 }
+
+func (s extractSystem) LegalFlipOut(out sim.Set) error { return omegaFlipOut(s.n, out) }
 
 // Oracles enumerates every correct leader as the Ω source's stable output,
 // in PID order (Members iterates ascending), expanded by the plan's flip
@@ -324,7 +463,7 @@ func (s extractSystem) Instantiate(pattern sim.Pattern, o OracleChoice) Instance
 	ex := core.NewExtraction(s.n, oracle, core.PhiOmega(s.n))
 	machines := make([]sim.StepMachine, s.n)
 	for i := range machines {
-		machines[i] = ex.Machine()
+		machines[i] = ex.MutantMachine(s.mut)
 	}
 	trace := check.NewOutputTrace[sim.Set](s.n, ex.Output)
 	correct := pattern.Correct()
@@ -361,7 +500,8 @@ func (s extractSystem) Properties() []Property {
 // Composed: Figure 3 extraction ∘ Figure 1 protocol (Corollary 11 pipeline)
 
 type composedSystem struct {
-	n int
+	n   int
+	mut core.Fig1Mutation
 }
 
 // ComposedSystem explores the Theorem 10 composition: each process runs the
@@ -374,9 +514,50 @@ type composedSystem struct {
 // (a bounded adversarial run cannot refute it).
 func ComposedSystem(n int) System { return composedSystem{n: n} }
 
-func (s composedSystem) Name() string   { return "composed" }
+// BrokenAdoptComposedSystem is the composition with the protocol task's
+// converge adopt rule broken (core.MutWrongAdopt): the fig1 agreement race
+// must stay reachable through the task interleaving, under the emulated
+// detector.
+func BrokenAdoptComposedSystem(n int) System {
+	return composedSystem{n: n, mut: core.MutWrongAdopt}
+}
+
+// GarbledEchoComposedSystem is the composition with the protocol task's
+// citizen echo corrupted (core.MutGarbledEcho). The emulated Υ settles on
+// the complement of the Ω leader's singleton, so the leader itself is a
+// live citizen of every later round: its poisoned D[r] echo is adopted by
+// the gladiator and decided — a root-run Validity kill that exercises the
+// one protocol branch only a proper-subset detector output can reach.
+// (MutSkipOnChange is deliberately not composed: the emulated output only
+// changes pre-settle, before any decision, so the armed skip renumbers
+// rounds without breaking Agreement — see core.MutantMachineTaskSets.)
+func GarbledEchoComposedSystem(n int) System {
+	return composedSystem{n: n, mut: core.MutGarbledEcho}
+}
+
+// GarbledComposedSystem is the composition with the protocol task's commit
+// path corrupted (core.MutGarbledDecide): the root fair run already decides
+// an unproposed value.
+func GarbledComposedSystem(n int) System {
+	return composedSystem{n: n, mut: core.MutGarbledDecide}
+}
+
+func (s composedSystem) Name() string {
+	switch s.mut {
+	case core.MutWrongAdopt:
+		return "composed-broken-adopt"
+	case core.MutGarbledEcho:
+		return "composed-garbled-echo"
+	case core.MutGarbledDecide:
+		return "composed-garbled-decide"
+	}
+	return "composed"
+}
+
 func (s composedSystem) N() int         { return s.n }
 func (s composedSystem) MaxFaults() int { return s.n - 1 }
+
+func (s composedSystem) LegalFlipOut(out sim.Set) error { return omegaFlipOut(s.n, out) }
 
 // Oracles enumerates every correct leader as the underlying Ω source's
 // stable output, as in ExtractOmegaSystem, with the plan's flip schedules.
@@ -389,7 +570,7 @@ func (s composedSystem) Instantiate(pattern sim.Pattern, o OracleChoice) Instanc
 	c := core.NewComposed(s.n, oracle, core.PhiOmega(s.n), converge.UseAtomic)
 	proposals := canonicalProposals(s.n)
 	return Instance{
-		Tasks:     c.MachineTaskSets(proposals),
+		Tasks:     c.MutantMachineTaskSets(proposals, s.mut),
 		Proposals: proposals,
 		K:         c.K(),
 		// Only the underlying Ω source is a seam history; the emulated Υ the
@@ -435,6 +616,10 @@ func (s timedComposedSystem) Oracles(sim.Pattern, SwitchPlan) []OracleChoice {
 	return []OracleChoice{{Name: "heartbeat-emulated"}}
 }
 
+func (s timedComposedSystem) LegalFlipOut(sim.Set) error {
+	return fmt.Errorf("system timed-composed consumes no detector history: no flip schedule is legal")
+}
+
 func (s timedComposedSystem) Instantiate(pattern sim.Pattern, _ OracleChoice) Instance {
 	c := core.NewTimedComposed(s.n, timedComposedThreshold, converge.UseAtomic)
 	proposals := canonicalProposals(s.n)
@@ -447,4 +632,38 @@ func (s timedComposedSystem) Instantiate(pattern sim.Pattern, _ OracleChoice) In
 
 func (s timedComposedSystem) Properties() []Property {
 	return []Property{AtMostK{}, Validity{}}
+}
+
+// upsilonFlipOut checks one pre-stabilization phase output against the Υ^f
+// range: every phase output — not just the eventual stable value — must be a
+// non-empty subset of Π of size at least n+1−f... in the paper's 1-indexed
+// counting; with this codebase's 0-indexed |Π| = n that floor is
+// spec.MinSize() = n−f. Unlike LegalStable it does not exclude the correct
+// set: pre-stabilization outputs may equal correct(F), only the settled
+// value may not.
+func upsilonFlipOut(spec core.UpsilonSpec, out sim.Set) error {
+	if out == sim.EmptySet {
+		return fmt.Errorf("flip output is empty: Υ range values are non-empty")
+	}
+	all := sim.FullSet(spec.N)
+	if out&^all != 0 {
+		return fmt.Errorf("flip output %s is not a subset of Π (n=%d)", out.String(), spec.N)
+	}
+	if out.Len() < spec.MinSize() {
+		return fmt.Errorf("flip output %s has %d processes, below the Υ range floor %d",
+			out.String(), out.Len(), spec.MinSize())
+	}
+	return nil
+}
+
+// omegaFlipOut checks one pre-stabilization phase output against the Ω
+// range: every output is a singleton {leader} ⊆ Π.
+func omegaFlipOut(n int, out sim.Set) error {
+	if out.Len() != 1 {
+		return fmt.Errorf("flip output %s is not a singleton: Ω outputs exactly one leader", out.String())
+	}
+	if out&^sim.FullSet(n) != 0 {
+		return fmt.Errorf("flip output %s names a process outside Π (n=%d)", out.String(), n)
+	}
+	return nil
 }
