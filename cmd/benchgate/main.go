@@ -46,6 +46,7 @@ type benchReport struct {
 	MatrixSeeds               int           `json:"matrix_seeds"`
 	Benchmarks                []benchResult `json:"benchmarks"`
 	SpeedupMachineVsGoroutine float64       `json:"speedup_machine_vs_goroutine"`
+	ExploreReduction          float64       `json:"explore_reduction"`
 	FingerprintMachine        string        `json:"fingerprint_machine"`
 	FingerprintGoroutine      string        `json:"fingerprint_goroutine"`
 }
@@ -82,6 +83,7 @@ func main() {
 		currentPath  = flag.String("current", "", "freshly measured report (paperbench -bench-json)")
 		tolerance    = flag.Float64("tolerance", 0.20, "allowed fractional regression in ns/op and allocs/op")
 		minSpeedup   = flag.Float64("min-speedup", 5.0, "minimum machine-vs-goroutine matrix speedup")
+		minReduction = flag.Float64("min-explore-reduction", 2.0, "minimum classic-vs-source explorer run-count reduction (0 disables the check)")
 	)
 	flag.Parse()
 	if *currentPath == "" {
@@ -96,7 +98,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if gate(os.Stdout, baseline, current, *tolerance, *minSpeedup) {
+	if gate(os.Stdout, baseline, current, *tolerance, *minSpeedup, *minReduction) {
 		os.Exit(1)
 	}
 }
@@ -110,7 +112,7 @@ func main() {
 // current value against a zero baseline fails — always fatally, since a
 // zero recorded cost is either corrupt data or a metric the current report
 // must also lack.
-func gate(w io.Writer, baseline, current *benchReport, tolerance, minSpeedup float64) (failed bool) {
+func gate(w io.Writer, baseline, current *benchReport, tolerance, minSpeedup, minReduction float64) (failed bool) {
 	fail := func(format string, args ...any) {
 		failed = true
 		fmt.Fprintf(w, "FAIL: "+format+"\n", args...)
@@ -141,6 +143,17 @@ func gate(w io.Writer, baseline, current *benchReport, tolerance, minSpeedup flo
 	} else {
 		fmt.Fprintf(w, "ok:   matrix speedup %.2fx (floor %.2fx)\n",
 			current.SpeedupMachineVsGoroutine, minSpeedup)
+	}
+	// The run-count ratio is deterministic in the exploration configuration
+	// (no wall clock involved), so this check stays fatal on any hardware.
+	if minReduction > 0 {
+		if current.ExploreReduction < minReduction {
+			fail("explore reduction %.2fx below required %.2fx (the source engine must beat classic DPOR on executed runs)",
+				current.ExploreReduction, minReduction)
+		} else {
+			fmt.Fprintf(w, "ok:   explore reduction %.2fx (floor %.2fx)\n",
+				current.ExploreReduction, minReduction)
+		}
 	}
 
 	base := make(map[string]benchResult, len(baseline.Benchmarks))

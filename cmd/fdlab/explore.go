@@ -24,11 +24,13 @@ func runExplore(args []string) {
 	fs := flag.NewFlagSet("explore", flag.ExitOnError)
 	var (
 		system       = fs.String("system", "fig1", "system under exploration: "+strings.Join(explore.SystemNames(), "|"))
-		n            = fs.Int("n", 3, "number of processes (2..4)")
+		n            = fs.Int("n", 3, "number of processes (2..5)")
 		f            = fs.Int("f", 0, "resilience for fig2 (default n-1)")
-		dpor         = fs.Bool("dpor", true, "use dynamic partial-order reduction (default); false selects the legacy block enumerator")
+		engineName   = fs.String("engine", "source", "exploration engine: source (source-DPOR with wakeup sequences and state-hash joins), classic (Flanagan-Godefroid DPOR), legacy (block enumerator)")
+		noHash       = fs.Bool("no-hash", false, "disable the source engine's state-hash join layer (pure source-DPOR)")
+		maxStates    = fs.Int("max-states", 0, "cap the source engine's join cache entries per configuration (0 = default 16384)")
 		maxDepth     = fs.Int("max-depth", 0, "DPOR branch-depth horizon (0 = full depth, i.e. the step budget; intractable for most systems beyond n=2)")
-		maxRuns      = fs.Int64("max-runs", 0, "cap runs per configuration, 0 = unlimited (DPOR; hitting it voids exhaustiveness and exits 3)")
+		maxRuns      = fs.Int64("max-runs", 0, "cap runs per configuration, 0 = unlimited (DPOR engines; hitting it voids exhaustiveness and exits 3)")
 		blocks       = fs.Int("blocks", 3, "legacy engine: max adversarial blocks per schedule (context-switch bound)")
 		blockLen     = fs.Int("block", 24, "legacy engine: max steps per adversarial block")
 		budget       = fs.Int64("budget", 4096, "step budget per run")
@@ -42,19 +44,30 @@ func runExplore(args []string) {
 	)
 	_ = fs.Parse(args)
 	validatePool(*workers, 1)
-	if *n < 2 || *n > 4 {
-		log.Fatalf("-n %d out of the explorable range [2,4] (the schedule space explodes beyond n=4)", *n)
+	var engine explore.Engine
+	switch *engineName {
+	case "source":
+		engine = explore.EngineSource
+	case "classic", "dpor":
+		engine = explore.EngineDPOR
+	case "legacy", "enum":
+		engine = explore.EngineEnum
+	default:
+		log.Fatalf("-engine %q unknown: want source, classic or legacy", *engineName)
+	}
+	if *n < 2 || *n > 5 {
+		log.Fatalf("-n %d out of the explorable range [2,5] (the schedule space explodes beyond n=5)", *n)
 	}
 	if *blocks <= 0 || *blockLen <= 0 || *budget <= 0 {
 		log.Fatalf("-blocks, -block and -budget must be positive (got %d, %d, %d)", *blocks, *blockLen, *budget)
 	}
-	if *maxDepth < 0 || *maxRuns < 0 {
-		log.Fatalf("-max-depth and -max-runs must be non-negative (got %d, %d)", *maxDepth, *maxRuns)
+	if *maxDepth < 0 || *maxRuns < 0 || *maxStates < 0 {
+		log.Fatalf("-max-depth, -max-runs and -max-states must be non-negative (got %d, %d, %d)", *maxDepth, *maxRuns, *maxStates)
 	}
 	if *switchBudget < 0 {
 		log.Fatalf("-switch-budget must be >= 0, got %d", *switchBudget)
 	}
-	if *switchBudget > 0 && !*dpor {
+	if *switchBudget > 0 && engine == explore.EngineEnum {
 		// The block enumerator honors flip schedules soundly, but a
 		// flip-gated witness needs at least four preemption blocks
 		// (interleaved converge, the flip observer's solo run, the laggard's
@@ -62,7 +75,7 @@ func runExplore(args []string) {
 		// sweep would be vacuously clean. Refusing the combination keeps the
 		// coverage claim honest; the differential suite compares the engines
 		// at a raised block bound instead.
-		log.Fatal("-switch-budget > 0 requires the DPOR engine: the legacy enumerator's context-switch bound cannot reach flip-straddling witnesses (drop -dpor=false)")
+		log.Fatal("-switch-budget > 0 requires a DPOR engine: the legacy enumerator's context-switch bound cannot reach flip-straddling witnesses (use -engine source or -engine classic)")
 	}
 	if *maxViol <= 0 {
 		log.Fatalf("-max-violations must be >= 1, got %d", *maxViol)
@@ -97,14 +110,11 @@ func runExplore(args []string) {
 		}
 		flips[i] = sim.Time(t)
 	}
-	engine := explore.EngineDPOR
-	if !*dpor {
-		engine = explore.EngineEnum
-	}
-
 	res := explore.Explore(explore.Config{
 		System:        sys,
 		Engine:        engine,
+		NoHash:        *noHash,
+		MaxStates:     *maxStates,
 		MaxBlocks:     *blocks,
 		MaxBlock:      *blockLen,
 		MaxDepth:      *maxDepth,
@@ -118,8 +128,12 @@ func runExplore(args []string) {
 		Workers:       *workers,
 		MaxViolations: *maxViol,
 	})
-	fmt.Printf("explored %s (n=%d, f=%d, engine=%s, switch-budget=%d): %d configurations, %d schedules executed, %d pruned as redundant, longest run %d steps",
-		res.System, *n, ff, res.Engine, *switchBudget, res.Configs, res.Runs, res.Pruned, res.MaxSteps)
+	fmt.Printf("explored %s (n=%d, f=%d, engine=%s, switch-budget=%d): %d configurations, %d schedules executed, %d pruned as redundant",
+		res.System, *n, ff, res.Engine, *switchBudget, res.Configs, res.Runs, res.Pruned)
+	if res.Joined > 0 {
+		fmt.Printf(", %d joined at the horizon", res.Joined)
+	}
+	fmt.Printf(", longest run %d steps", res.MaxSteps)
 	if res.SettledRuns > 0 {
 		fmt.Printf(", %d settled", res.SettledRuns)
 	}
@@ -127,9 +141,18 @@ func runExplore(args []string) {
 	if res.Configs == 0 || res.Runs == 0 {
 		log.Fatal("empty sweep: no configurations were explored (check -n/-f/-crash-times)")
 	}
+	// Bound-hit reporting: the three bounds cut coverage in different ways
+	// and call for different remediations, so each one names itself.
+	if res.DepthLimited {
+		fmt.Printf("note: runs went past the -max-depth %d branch horizon: exhaustive up to commutativity over every %d-step prefix, fair-tail beyond (raise -max-depth to push the claim deeper)\n",
+			*maxDepth, *maxDepth)
+	}
+	if res.StateCapped {
+		fmt.Println("note: the state-hash join cache hit -max-states and stopped admitting new states: coverage is unaffected, but tail sharing degraded (raise -max-states or add memory to speed the sweep up)")
+	}
 	if len(res.Violations) == 0 {
 		if res.Truncated {
-			fmt.Println("no property violations, but the sweep was TRUNCATED by -max-runs: coverage is incomplete")
+			fmt.Println("no property violations, but the sweep was TRUNCATED by -max-runs: configurations stopped mid-search, coverage is incomplete (raise -max-runs to restore the exhaustiveness claim)")
 			os.Exit(3)
 		}
 		fmt.Println("no property violations")

@@ -9,8 +9,10 @@ import (
 	"testing"
 
 	"weakestfd"
+	"weakestfd/internal/explore"
 	"weakestfd/internal/lab"
 	"weakestfd/internal/lab/scenarios"
+	"weakestfd/internal/sim"
 )
 
 // Benchmark mode: `paperbench -bench-json out.json` measures the hot paths
@@ -38,6 +40,12 @@ type BenchReport struct {
 	// lab matrix over the machine-runner lab matrix — the headline number of
 	// the step-machine engine. The gate enforces a floor on it.
 	SpeedupMachineVsGoroutine float64 `json:"speedup_machine_vs_goroutine"`
+	// ExploreReduction is the executed-run ratio of the classic DPOR engine
+	// over the source engine on the pinned fig1 n=3 exploration — the
+	// headline number of the source-set reduction. Run counts are
+	// deterministic, so the ratio is hardware-independent and the gate
+	// enforces a floor on it.
+	ExploreReduction float64 `json:"explore_reduction"`
 	// FingerprintMachine/FingerprintGoroutine are the lab fingerprints of the
 	// quick matrix on each engine; they must be equal (bit-identical results).
 	FingerprintMachine   string `json:"fingerprint_machine"`
@@ -186,6 +194,38 @@ func runBenchJSON(path string, seeds int) error {
 			newBenchResult("family/"+fam.name, res, float64(steps)))
 	}
 
+	// Explorer throughput: one pinned fig1 n=3 sweep per engine. Runs/op is
+	// the engine's executed-schedule count on the identical configuration
+	// grid — deterministic, so the gate compares it exactly — and the
+	// classic/source ratio is the reduction headline.
+	var classicRuns, sourceRuns float64
+	for _, eb := range exploreBenchmarks() {
+		eb := eb
+		runs, violations := eb.run()
+		if violations != 0 {
+			return fmt.Errorf("explore/%s: %d violations on the real protocol", eb.name, violations)
+		}
+		res := benchBest(2, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if r, _ := eb.run(); r != runs {
+					b.Fatalf("run count drifted: %v -> %v", runs, r)
+				}
+			}
+		})
+		report.Benchmarks = append(report.Benchmarks,
+			newBenchResult("explore/"+eb.name, res, float64(runs)))
+		switch eb.name {
+		case "fig1-n3/classic":
+			classicRuns = float64(runs)
+		case "fig1-n3/source":
+			sourceRuns = float64(runs)
+		}
+	}
+	if sourceRuns > 0 {
+		report.ExploreReduction = classicRuns / sourceRuns
+	}
+
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -199,9 +239,39 @@ func runBenchJSON(path string, seeds int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("bench report written to %s (matrix speedup %.2fx, fingerprint %s)\n",
-		path, report.SpeedupMachineVsGoroutine, report.FingerprintMachine[:16])
+	fmt.Printf("bench report written to %s (matrix speedup %.2fx, explore reduction %.2fx, fingerprint %s)\n",
+		path, report.SpeedupMachineVsGoroutine, report.ExploreReduction, report.FingerprintMachine[:16])
 	return nil
+}
+
+// exploreBench is one explorer-throughput benchmark: a pinned sweep run once
+// per op. The returned runs count is deterministic in the configuration.
+type exploreBench struct {
+	name string
+	run  func() (runs int64, violations int)
+}
+
+func exploreBenchmarks() []exploreBench {
+	// The pinned sweep: fig1 n=3 on the single crash time 0, depth 12 — the
+	// standard-suite shape trimmed to one crash grid point so the classic
+	// engine's pass stays bench-affordable.
+	sweep := func(engine explore.Engine) func() (int64, int) {
+		return func() (int64, int) {
+			res := explore.Explore(explore.Config{
+				System:     explore.Fig1System(3),
+				Engine:     engine,
+				MaxDepth:   12,
+				Budget:     2048,
+				CrashTimes: []sim.Time{0},
+				Workers:    1,
+			})
+			return res.Runs, len(res.Violations)
+		}
+	}
+	return []exploreBench{
+		{"fig1-n3/classic", sweep(explore.EngineDPOR)},
+		{"fig1-n3/source", sweep(explore.EngineSource)},
+	}
 }
 
 // familyBench is one per-family benchmark: a fixed configuration of the

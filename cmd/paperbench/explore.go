@@ -15,7 +15,7 @@ import (
 // output switches (the unstable-history dimension; see explore.Config).
 func runExploreSuite(workers, switchBudget int) error {
 	w := newTableWriter(os.Stdout)
-	w.setHeader("system", "n", "f", "engine", "configs", "runs", "pruned", "max-steps", "settled", "violations", "ms")
+	w.setHeader("system", "n", "f", "engine", "configs", "runs", "pruned", "joined", "max-steps", "settled", "violations", "ms")
 	total := 0
 	truncated := false
 	var violations []*explore.Violation
@@ -24,7 +24,7 @@ func runExploreSuite(workers, switchBudget int) error {
 		cfg.SwitchBudget = switchBudget
 		res := explore.Explore(cfg)
 		w.addRow(res.System, cfg.System.N(), cfg.System.MaxFaults(), res.Engine, res.Configs, res.Runs,
-			res.Pruned, res.MaxSteps, res.SettledRuns, len(res.Violations), res.ElapsedMS)
+			res.Pruned, res.Joined, res.MaxSteps, res.SettledRuns, len(res.Violations), res.ElapsedMS)
 		total += len(res.Violations)
 		truncated = truncated || res.Truncated
 		violations = append(violations, res.Violations...)
@@ -42,6 +42,7 @@ func runExploreSuite(workers, switchBudget int) error {
 		return fmt.Errorf("sweep truncated by a per-configuration run cap: coverage incomplete")
 	}
 	fmt.Println("  * zero violations: every explored schedule satisfied every property")
-	fmt.Println("  * runs counts executed schedules; pruned counts schedules DPOR proved redundant without running them")
+	fmt.Println("  * runs counts executed schedules; pruned counts schedules the engine proved redundant without running them;")
+	fmt.Println("    joined counts runs that stopped at the branch horizon and reused an already-executed tail (state hashing)")
 	return nil
 }

@@ -80,6 +80,20 @@ type proposal struct {
 	commit bool
 }
 
+// StateFP implements sim.Fingerprinter for the explorer's state digests:
+// proposals live in shared snapshot cells, so their fingerprint must be a
+// function of their content alone.
+func (p proposal) StateFP() uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for _, v := range p.set {
+		h = (h ^ uint64(v)) * 0x100000001b3
+	}
+	if p.commit {
+		h ^= 0x8000000000000001
+	}
+	return h
+}
+
 // Impl selects the snapshot implementation backing converge instances.
 type Impl int
 

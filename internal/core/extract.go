@@ -61,6 +61,13 @@ type report struct {
 	ts  int64
 }
 
+// StateFP implements sim.Fingerprinter for the explorer's state digests:
+// reports live in shared registers, so their fingerprint must be a function
+// of their content alone.
+func (r report) StateFP() uint64 {
+	return sim.StateFP(r.val)*0x100000001b3 ^ uint64(r.ts)
+}
+
 // NewExtraction builds the shared state of one Figure 3 run over n
 // processes, extracting from detector history d via φ_D.
 func NewExtraction(n int, d sim.Oracle, phi Phi) *Extraction {

@@ -255,7 +255,7 @@ func (a *Artifact) Replay(hook func(idx int, t sim.Time, enabled sim.Set, chosen
 	sched := sim.NewFixedSchedule(prefix)
 	sched.OnGrant = hook
 
-	run := execute(sys, pattern, oracle, sched, a.Budget, sim.NewAccessLog())
+	run := execute(sys, pattern, oracle, sched, a.Budget, sim.NewAccessLog(), nil)
 	run.Schedule = prefix
 	var checked *error
 	for _, prop := range sys.Properties() {

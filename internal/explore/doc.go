@@ -15,56 +15,97 @@
 //
 // # Engines
 //
-// Two engines enumerate the schedule space; both close every run with a
-// fair round-robin tail inside the step budget.
+// Three engines enumerate the schedule space; all close every run with a
+// fair round-robin tail inside the step budget, and all share the same
+// dependence relation, built on the access-recording seam of
+// internal/memory: every Direct* accessor reports its (object, read|write)
+// events to the run's sim.AccessLog, so each step carries its exact
+// shared-object footprint. Two steps of different processes are independent
+// when their access sets do not conflict (no common object with at least
+// one write); schedules that differ only by reordering independent adjacent
+// steps are equivalent, and a partial-order engine executes at least one
+// representative per equivalence class (Mazurkiewicz trace).
 //
-// EngineDPOR (default) is dynamic partial-order reduction in the
-// Flanagan–Godefroid style (POPL 2005), built on the access-recording seam
-// of internal/memory: every Direct* accessor reports its (object,
-// read|write) events to the run's sim.AccessLog, so each step carries its
-// exact shared-object footprint. Two steps of different processes are
-// independent when their access sets do not conflict (no common object with
-// at least one write); schedules that differ only by reordering independent
-// adjacent steps are equivalent, and DPOR executes at least one
-// representative per equivalence class (Mazurkiewicz trace):
+// EngineSource (default) is source-DPOR with wakeup sequences in the
+// Abdulla–Aronis–Jonsson–Sagonas style (POPL 2014), plus a state-hash join
+// layer at the branching horizon:
 //
 //   - Happens-before is tracked with per-process and per-object vector
 //     clocks over the recorded access sets (snapshot objects are tracked
 //     per *position*: updates by different processes commute, scans
 //     conflict with every update).
-//   - A race — conflicting accesses of different processes ordered only by
-//     their own pair — inserts a backtrack point at the earlier access's
-//     pre-state; the DFS re-executes the chosen prefix and explores the
-//     reversal.
-//   - Sleep sets carry fully-explored siblings (with their next-step access
-//     sets) down the tree and skip them until a conflicting step wakes
-//     them; every skip is counted as a pruned schedule in Result.Pruned.
+//   - A race — conflicting accesses (b, c) of different processes ordered
+//     only by their own pair — yields a *wakeup sequence* v·p: the steps in
+//     (b, c) not happening-after b, then proc(c). Where classic DPOR falls
+//     back to "add every enabled process" when the reversing process was
+//     not enabled at b, source-DPOR computes the initials of v·p — the
+//     processes with no dependent predecessor inside the sequence — and
+//     inserts nothing when some initial is already covered at b (that
+//     branch subsumes the reversal) or asleep there (the reversal was
+//     already explored). In this simulation the fallback is provably dead
+//     anyway: crashes happen at absolute times and enabledness never
+//     recovers, so any process that stepped inside (b, c) was enabled at b.
+//   - Sleep sets carry fully-explored siblings down the tree exactly as in
+//     the classic engine; sleep-set skips count as Result.Pruned.
+//   - State-hash joins: when MaxDepth < Budget, every step of every run
+//     beyond the horizon is pure round-robin, so two runs that reach the
+//     horizon in the same joint state run identical tails. Each run's state
+//     at the horizon is fingerprinted incrementally (sim.AccessLog's
+//     order-insensitive XOR of per-write value fingerprints — see
+//     StateDigest) and keyed together with the round-robin rotation point
+//     and the number of not-yet-applied detector flips; a later run hitting
+//     a seen key stops at the horizon and splices the recorded tail,
+//     counted in Result.Joined. Soundness of the flip-indexed key: crashes
+//     and flips fire at *absolute* times, and machines consult time only
+//     through the query seam, whose pending flips are (a) counted in the
+//     key and (b) themselves fingerprinted writes once applied — so equal
+//     key at equal time t means the two runs' futures are *identical*
+//     step for step, not merely equivalent, and the first visitor's
+//     property verdict covers the joined run. The cache is capped
+//     (Config.MaxStates); hitting the cap only disables new insertions and
+//     is reported as Result.StateCapped.
 //
-// Config.MaxDepth bounds where backtrack points may be inserted: the search
-// is exhaustive up to commutativity over *every* schedule — arbitrarily
-// many context switches — whose branching lies in the first MaxDepth steps.
-// Terminating protocols at small n afford full depth (MaxDepth = budget);
-// the non-terminating extraction and the compositions use a finite horizon.
-// Reduction soundness needs step behaviour to be independent of a step's
-// global time *up to what the access sets record*. Crash times are fixed by
-// the pattern, and detector queries — the one time-dependent operation —
-// are first-class accesses since PR 5: every query routes through the run's
-// query seam (sim.QuerySeam) and is recorded as a read of a virtual
-// per-history object, every pre-stabilization output switch ("flip") of an
-// unstable history is recorded as a write of that object at its global
-// time, and the step one before a flip carries a boundary-guard read, so no
-// commutation the reduction performs can move a query across a flip. With
-// stable-from-0 histories the object is never written and the search is the
-// PR-4 one, run for run.
+// One deliberate degradation: with a non-empty flip schedule
+// (SwitchBudget > 0 histories), a full wakeup sequence could left-shift a
+// querying step across a flip's absolute time and diverge from the
+// predicted window, so the engine inserts only the single initial it
+// targets — still sound (it is exactly classic DPOR's per-race insertion,
+// gated by the covered/sleep checks), just less aggressive. The standard
+// stable-from-0 suite always takes the full-sequence path.
+//
+// EngineDPOR is classic dynamic partial-order reduction in the
+// Flanagan–Godefroid style (POPL 2005): per-race backtrack points with the
+// conservative add-all-enabled fallback, plus the same sleep sets. It is
+// kept as the differential anchor for the source engine — same dependence
+// relation, independently implemented search.
+//
+// For both partial-order engines, Config.MaxDepth bounds where backtrack
+// points may be inserted: the search is exhaustive up to commutativity over
+// *every* schedule — arbitrarily many context switches — whose branching
+// lies in the first MaxDepth steps. Terminating protocols at small n afford
+// full depth (MaxDepth = budget); the non-terminating extraction and the
+// compositions use a finite horizon. Reduction soundness needs step
+// behaviour to be independent of a step's global time *up to what the
+// access sets record*. Crash times are fixed by the pattern, and detector
+// queries — the one time-dependent operation — are first-class accesses
+// since PR 5: every query routes through the run's query seam
+// (sim.QuerySeam) and is recorded as a read of a virtual per-history
+// object, every pre-stabilization output switch ("flip") of an unstable
+// history is recorded as a write of that object at its global time, and the
+// step one before a flip carries a boundary-guard read, so no commutation
+// the reduction performs can move a query across a flip. With stable-from-0
+// histories the object is never written and the search is the PR-4 one,
+// run for run.
 //
 // EngineEnum is the PR-3 enumerator, kept for differential testing: a
 // schedule is a sequence of adversarial "blocks" (block (p, ℓ) grants up to
 // ℓ consecutive steps to p) followed by the fair tail — exactly the
 // context-switch-bounded exploration of Musuvathi & Qadeer's CHESS, with
 // stutter pruning on cut-short blocks and canonical decomposition of solo
-// spans. The differential suite (differential_test.go, CI) asserts both
-// engines find the identical violation set on the standard n ≤ 3 suite and
-// on the wrong-adopt mutant, with DPOR executing strictly fewer schedules.
+// spans. The differential suites (differential_test.go, source_test.go, CI)
+// assert all engines find the identical violation set on the standard n ≤ 3
+// suite and on killable mutants, with source executing strictly fewer runs
+// than classic, and classic strictly fewer than the enumerator.
 //
 // # What is enumerated
 //

@@ -178,19 +178,14 @@ func (e *explorer) dporConfig(pattern sim.Pattern, oracle OracleChoice) *dporSea
 		rec := &dporRecord{}
 		sched := rec.schedule(prefix)
 		d.log.Reset()
-		run := execute(e.cfg.System, pattern, oracle, sched, e.cfg.Budget, d.log)
+		run := execute(e.cfg.System, pattern, oracle, sched, e.cfg.Budget, d.log, nil)
 		run.Schedule = append([]sim.PID(nil), rec.granted...)
 		d.runs++
 		e.runs.Add(1)
 		if run.OutputsSettled {
 			e.settled.Add(1)
 		}
-		for {
-			max := e.maxSteps.Load()
-			if run.Report.Steps <= max || e.maxSteps.CompareAndSwap(max, run.Report.Steps) {
-				break
-			}
-		}
+		bumpMax(&e.maxSteps, run.Report.Steps)
 		d.violations += e.check(run, pattern, oracle)
 		if sched.Diverged() {
 			// A forced prefix can only diverge if re-execution is not

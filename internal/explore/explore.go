@@ -14,23 +14,43 @@ import (
 type Engine uint8
 
 const (
-	// EngineDPOR — the default — is the dynamic partial-order reduction
-	// DFS (dpor.go): full-depth exploration of one representative per
-	// commutativity class of schedules, driven by the per-step
-	// shared-object access sets the instrumented memory layer records.
-	EngineDPOR Engine = iota
+	// EngineSource — the default — is source-DPOR with wakeup sequences
+	// (source.go, wakeup.go): full-depth exploration of one representative
+	// per commutativity class, with race reversals gated on source sets and
+	// forced by wakeup sequences, plus the state-hash join layer (hash.go)
+	// that shares post-horizon tails between runs reaching the same state.
+	EngineSource Engine = iota
+	// EngineDPOR is the classic Flanagan–Godefroid DPOR of PR 4 (dpor.go):
+	// bare backtrack points plus sleep sets, kept as the reduction-quality
+	// baseline the source engine is differentially tested and benchmarked
+	// against.
+	EngineDPOR
 	// EngineEnum is the context-switch-bounded block enumerator of PR 3,
-	// kept as the differential-testing reference: DPOR and the enumerator
-	// must find the identical violation set on the standard suites.
+	// kept as the differential-testing reference: the reducing engines and
+	// the enumerator must find the identical violation set on the standard
+	// suites.
 	EngineEnum
 )
 
 // String implements fmt.Stringer.
 func (e Engine) String() string {
-	if e == EngineEnum {
-		return "enum"
+	switch e {
+	case EngineDPOR:
+		return "classic"
+	case EngineEnum:
+		return "legacy"
+	default:
+		return "source"
 	}
-	return "dpor"
+}
+
+// engineLabel names the engine as configured: the source engine with the
+// join layer on reports "source+hash".
+func engineLabel(c Config) string {
+	if c.Engine == EngineSource && !c.NoHash {
+		return "source+hash"
+	}
+	return c.Engine.String()
 }
 
 // Config bounds one exploration. The zero value of every field has a usable
@@ -39,8 +59,16 @@ type Config struct {
 	// System is the protocol under exploration.
 	System System
 	// Engine selects the exploration algorithm; the zero value is
-	// EngineDPOR.
+	// EngineSource.
 	Engine Engine
+	// NoHash disables the source engine's state-hash join layer, making it
+	// pure source-DPOR — the differential-testing lens for the join
+	// soundness argument. EngineSource only.
+	NoHash bool
+	// MaxStates caps the join cache's entries per configuration; once full,
+	// new states are no longer admitted (Result.StateCapped) but cached ones
+	// keep joining. Default 16384. EngineSource only.
+	MaxStates int
 	// MaxBlocks bounds the number of adversarial blocks per schedule (the
 	// context-switch bound); the fair round-robin tail after the last block
 	// is free. Default 2. EngineEnum only.
@@ -133,6 +161,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxViolations <= 0 {
 		c.MaxViolations = 4 // a non-positive cap would stop the sweep at birth
 	}
+	if c.MaxStates <= 0 {
+		c.MaxStates = 1 << 14
+	}
 	if c.ShrinkBudget == 0 {
 		c.ShrinkBudget = 2000
 	}
@@ -188,13 +219,26 @@ type Result struct {
 	Configs int
 	// Runs is the number of schedules executed (shrinking replays excluded).
 	Runs int64
-	// Pruned counts the schedules the DPOR engine proved redundant without
-	// executing them (sleep-set skips); always 0 for EngineEnum, whose
-	// stutter pruning cuts length scans rather than whole schedules.
+	// Pruned counts the schedules a reducing engine proved redundant without
+	// executing them (sleep-set and source-set skips); always 0 for
+	// EngineEnum, whose stutter pruning cuts length scans rather than whole
+	// schedules.
 	Pruned int64
+	// Joined counts the runs the source engine stopped at the branch horizon
+	// because a state-hash join let them reuse an already-executed tail.
+	// Joined runs are included in Runs.
+	Joined int64
 	// Truncated reports that some configuration hit Config.MaxRuns, voiding
 	// the sweep's exhaustiveness claim.
 	Truncated bool
+	// StateCapped reports that some configuration's join cache hit
+	// Config.MaxStates and stopped admitting new states; exploration stays
+	// exhaustive, only tail sharing degrades.
+	StateCapped bool
+	// DepthLimited reports that runs went past Config.MaxDepth, i.e. the
+	// exhaustiveness claim is bounded-depth: complete up to commutativity
+	// over every prefix of MaxDepth steps, with the fair tail beyond.
+	DepthLimited bool
 	// MaxSteps is the longest run observed.
 	MaxSteps int64
 	// SettledRuns counts extraction runs whose outputs settled (0 for
@@ -254,13 +298,15 @@ func (s *blockSchedule) Next(t sim.Time, enabled sim.Set) sim.PID {
 
 // explorer carries the shared state of one Explore invocation.
 type explorer struct {
-	cfg        Config
-	runs       atomic.Int64
-	settled    atomic.Int64
-	maxSteps   atomic.Int64
-	violations atomic.Int64
-	pruned     atomic.Int64
-	truncated  atomic.Bool
+	cfg         Config
+	runs        atomic.Int64
+	settled     atomic.Int64
+	maxSteps    atomic.Int64
+	violations  atomic.Int64
+	pruned      atomic.Int64
+	joined      atomic.Int64
+	truncated   atomic.Bool
+	stateCapped atomic.Bool
 
 	mu    sync.Mutex
 	found []*Violation
@@ -314,17 +360,21 @@ func Explore(cfg Config) *Result {
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	maxSteps := e.maxSteps.Load()
 	return &Result{
-		System:      sys.Name(),
-		Engine:      cfg.Engine.String(),
-		Configs:     len(jobs),
-		Runs:        e.runs.Load(),
-		Pruned:      e.pruned.Load(),
-		Truncated:   e.truncated.Load(),
-		MaxSteps:    e.maxSteps.Load(),
-		SettledRuns: e.settled.Load(),
-		Violations:  append([]*Violation(nil), e.found...),
-		ElapsedMS:   time.Since(start).Milliseconds(),
+		System:       sys.Name(),
+		Engine:       engineLabel(cfg),
+		Configs:      len(jobs),
+		Runs:         e.runs.Load(),
+		Pruned:       e.pruned.Load(),
+		Joined:       e.joined.Load(),
+		Truncated:    e.truncated.Load(),
+		StateCapped:  e.stateCapped.Load(),
+		DepthLimited: cfg.MaxDepth < int(cfg.Budget) && maxSteps > int64(cfg.MaxDepth),
+		MaxSteps:     maxSteps,
+		SettledRuns:  e.settled.Load(),
+		Violations:   append([]*Violation(nil), e.found...),
+		ElapsedMS:    time.Since(start).Milliseconds(),
 	}
 }
 
@@ -340,7 +390,18 @@ func (e *explorer) stopped() bool {
 // pool, so the per-config run count is tracked locally, not read off the
 // shared counter.
 func (e *explorer) exploreConfig(pattern sim.Pattern, oracle OracleChoice) (violations, runs int64) {
-	if e.cfg.Engine == EngineDPOR {
+	switch e.cfg.Engine {
+	case EngineSource:
+		s := e.sourceConfig(pattern, oracle)
+		e.pruned.Add(s.pruned)
+		if s.truncated {
+			e.truncated.Store(true)
+		}
+		if s.joins != nil && s.joins.capped {
+			e.stateCapped.Store(true)
+		}
+		return s.violations, s.runs
+	case EngineDPOR:
 		d := e.dporConfig(pattern, oracle)
 		e.pruned.Add(d.pruned)
 		if d.truncated {
@@ -411,20 +472,25 @@ func (c *configRun) dfs(blocks []block) {
 func (c *configRun) run(blocks []block) (*Run, []int) {
 	e := c.e
 	sched := newBlockSchedule(blocks)
-	run := execute(e.cfg.System, c.pattern, c.oracle, sched, e.cfg.Budget, nil)
+	run := execute(e.cfg.System, c.pattern, c.oracle, sched, e.cfg.Budget, nil, nil)
 	run.Schedule = sched.granted
 	c.runs++
 	e.runs.Add(1)
 	if run.OutputsSettled {
 		e.settled.Add(1)
 	}
+	bumpMax(&e.maxSteps, run.Report.Steps)
+	return run, sched.counts
+}
+
+// bumpMax raises the atomic maximum m to v.
+func bumpMax(m *atomic.Int64, v int64) {
 	for {
-		max := e.maxSteps.Load()
-		if run.Report.Steps <= max || e.maxSteps.CompareAndSwap(max, run.Report.Steps) {
-			break
+		cur := m.Load()
+		if v <= cur || m.CompareAndSwap(cur, v) {
+			return
 		}
 	}
-	return run, sched.counts
 }
 
 // execute runs one simulation of sys under the given schedule on fresh
@@ -433,20 +499,28 @@ func (c *configRun) run(blocks []block) (*Run, []int) {
 // instance's detector histories are then registered with a query seam so
 // queries and history flips are part of those sets. An unrecorded run needs
 // no seam — flip schedules live in the oracle itself, so outputs are
-// identical either way.
-func execute(sys System, pattern sim.Pattern, oracle OracleChoice, sched sim.Schedule, budget int64, log *sim.AccessLog) *Run {
+// identical either way. stop, when non-nil, is polled after every step (and
+// after the instance's observer) with the step count and the query seam; a
+// true return ends the run early — the source engine's state-hash join probe.
+func execute(sys System, pattern sim.Pattern, oracle OracleChoice, sched sim.Schedule, budget int64, log *sim.AccessLog, stop func(sim.Time, *sim.QuerySeam) bool) *Run {
 	inst := sys.Instantiate(pattern, oracle)
 	simCfg := sim.Config{Pattern: pattern, Schedule: sched, Budget: budget, AccessLog: log}
+	var seam *sim.QuerySeam
 	if log != nil && len(inst.Histories) > 0 {
-		seam := sim.NewQuerySeam(log)
+		seam = sim.NewQuerySeam(log)
 		for _, h := range inst.Histories {
 			seam.Register(h.Name, h.H)
 		}
 		simCfg.Queries = seam
 	}
-	if inst.Observe != nil {
+	if inst.Observe != nil || stop != nil {
 		observe := inst.Observe
-		simCfg.StopWhen = func(t sim.Time) bool { observe(t); return false }
+		simCfg.StopWhen = func(t sim.Time) bool {
+			if observe != nil {
+				observe(t)
+			}
+			return stop != nil && stop(t, seam)
+		}
 	}
 	var rep *sim.Report
 	var err error
@@ -500,7 +574,7 @@ func (e *explorer) check(run *Run, pattern sim.Pattern, oracle OracleChoice) int
 		// sees the minimized trace's structural features (the exploration
 		// runs themselves are unrecorded for speed).
 		wrun := execute(e.cfg.System, w.pattern, w.oracle,
-			sim.NewFixedSchedule(w.schedule), e.cfg.Budget, sim.NewAccessLog())
+			sim.NewFixedSchedule(w.schedule), e.cfg.Budget, sim.NewAccessLog(), nil)
 		fp := Classify(wrun, prop.Name())
 		v := &Violation{
 			Property:       prop.Name(),

@@ -1,0 +1,105 @@
+package explore
+
+import "weakestfd/internal/sim"
+
+// State-hash join cache for the source-DPOR engine: when two explored
+// prefixes of one (pattern, oracle) configuration commute into the same
+// state at the branch horizon, the tail beyond the horizon — which branches
+// no further and runs under the deterministic fair round-robin — is executed
+// once and reused.
+//
+// Soundness. A join key is taken at step depth h = Config.MaxDepth, only
+// when h < Budget (a fair tail exists), and is composed of:
+//
+//   - the access log's state digest (sim.AccessLog.StateDigest): every
+//     shared object's current-value fingerprint — detector-history objects
+//     included, their flip writes fingerprint the post-flip output — plus
+//     every process's rolling observation hash, whose per-step marker makes
+//     it a per-process program counter. Equal digests mean (up to 64-bit
+//     collisions) identical shared state and identical machine local states,
+//     because a machine's local state is a deterministic function of its
+//     observation sequence;
+//   - the round-robin rotation state entering the tail (the last granted
+//     PID, or fresh when the forced prefix covered the whole horizon), so
+//     identical states continued by differently-rotated fair tails are
+//     never identified;
+//   - the configuration's flips-remaining index at h
+//     (sim.QuerySeam.FlipsRemaining). Within one configuration every history
+//     flips at fixed absolute times, so this is constant at fixed h — it is
+//     folded in for defense against future histories whose schedules depend
+//     on the run.
+//
+// Both runs are at the same global time (t = h: time advances one per step),
+// the crash pattern fires at absolute times, and flips fire at absolute
+// times, so equal keys imply the continuations are *identical runs*, step
+// for step — not merely equivalent. The joiner therefore stops executing at
+// h, splices the cached tail's access trace into its log (so the race
+// analysis that drives further branching sees the complete run), counts the
+// cached tail's step/settledness facts, and skips property checking: the
+// first visitor checked the identical run, and the explorer deduplicates
+// violations per (pattern, oracle, property), so a joiner's checks can
+// contribute nothing the first visitor's did not.
+//
+// The cache is bounded by Config.MaxStates entries per configuration; once
+// full it stops admitting new states (Result.StateCapped) but keeps probing
+// existing ones — joins degrade, coverage does not.
+
+// joinKey identifies a state at the branch horizon.
+type joinKey struct {
+	digest uint64
+	rr     int16 // RR rotation entering the tail: last granted PID, -1 fresh
+	flips  int32 // flips still pending past the horizon
+}
+
+// tailStep is one cached tail step: its process and an owned copy of its
+// access set.
+type tailStep struct {
+	p   sim.PID
+	acc []sim.Access
+}
+
+// joinEntry is the reusable continuation of a state: the tail's grants and
+// access trace, and the run facts the joiner reports instead of measuring.
+type joinEntry struct {
+	grants  []sim.PID
+	tail    []tailStep
+	steps   int64
+	settled bool
+}
+
+// joinCache maps horizon states to their continuations for one
+// configuration's search (single-goroutine access; no locking).
+type joinCache struct {
+	max    int
+	m      map[joinKey]*joinEntry
+	capped bool
+}
+
+func newJoinCache(max int) *joinCache {
+	return &joinCache{max: max, m: make(map[joinKey]*joinEntry)}
+}
+
+// get returns the cached continuation for key, nil when unseen.
+func (c *joinCache) get(key joinKey) *joinEntry {
+	return c.m[key]
+}
+
+// put records a continuation: the tail portion of the log (steps from
+// horizon on) and of the grant sequence, copied out of the run's buffers.
+// Returns false when the entry cap is hit (the state is not admitted).
+func (c *joinCache) put(key joinKey, log *sim.AccessLog, granted []sim.PID, horizon int, steps int64, settled bool) bool {
+	if len(c.m) >= c.max {
+		c.capped = true
+		return false
+	}
+	ent := &joinEntry{steps: steps, settled: settled}
+	if horizon < len(granted) {
+		ent.grants = append([]sim.PID(nil), granted[horizon:]...)
+	}
+	for i := horizon; i < log.Steps(); i++ {
+		p, acc := log.Step(i)
+		ent.tail = append(ent.tail, tailStep{p: p, acc: append([]sim.Access(nil), acc...)})
+	}
+	c.m[key] = ent
+	return true
+}

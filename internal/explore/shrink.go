@@ -54,7 +54,7 @@ func shrink(cfg Config, run *Run, prop Property) witness {
 			return "", false
 		}
 		budget--
-		r := execute(cfg.System, pat, o, sim.NewFixedSchedule(sched), cfg.Budget, nil)
+		r := execute(cfg.System, pat, o, sim.NewFixedSchedule(sched), cfg.Budget, nil, nil)
 		if err := prop.Check(r); err != nil {
 			return err.Error(), true
 		}

@@ -30,6 +30,9 @@ func TestShrinkDropsIrrelevantCrash(t *testing.T) {
 	var oracle OracleChoice
 	found := false
 	for _, v := range base.Violations {
+		if v.Property != (AtMostK{}).Name() {
+			continue // the re-execution below checks AtMostK specifically
+		}
 		o, legal := matchOracle(cfg.System, pattern, v.Artifact.oracleChoice())
 		if !legal {
 			continue
@@ -47,7 +50,7 @@ func TestShrinkDropsIrrelevantCrash(t *testing.T) {
 	// Re-execute the same schedule under the pattern whose p2 crash fires
 	// far beyond the horizon: the run is step-identical, the violation
 	// persists, but the pattern now carries a spurious crash.
-	run := execute(cfg.System, pattern, oracle, sim.NewFixedSchedule(schedule), cfg.Budget, nil)
+	run := execute(cfg.System, pattern, oracle, sim.NewFixedSchedule(schedule), cfg.Budget, nil, nil)
 	run.Schedule = schedule
 	prop := AtMostK{}
 	if err := prop.Check(run); err == nil {

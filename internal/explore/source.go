@@ -1,0 +1,411 @@
+package explore
+
+import (
+	"fmt"
+
+	"weakestfd/internal/sim"
+)
+
+// Source-DPOR with wakeup sequences and state-hash joins — the explorer's
+// default engine (EngineSource).
+//
+// The classic engine (dpor.go) reacts to a race between steps b < c by
+// inserting a bare backtrack alternative at node b and letting the fair tail
+// find the reversal; sibling subtrees that turn out equivalent are only
+// culled after the fact by sleep sets, each cull costing the run that
+// discovered it. This engine applies the source-set insight (Abdulla,
+// Aronis, Jonsson, Sagonas, POPL 2014): the race analysis computes the
+// wakeup sequence of the reversal (wakeup.go) and its *initials* — the
+// exact set of first-steps whose exploration from node b covers the
+// reversal. A race whose initials intersect the node's explored
+// alternatives, pending wakeup heads, or sleep set needs no new run at all;
+// otherwise the full wakeup sequence is queued and the next run is *forced*
+// into the reversal rather than left to wander. Classic DPOR's conservative
+// "add every enabled process" fallback disappears entirely — in this
+// simulator enabledness is monotone (crashes fire at absolute times,
+// returning is forever), so the racing process is always enabled at the
+// insertion node and a single targeted alternative suffices.
+//
+// On top of the source-set search sits the state-hash join layer (hash.go):
+// with a finite branch horizon (Config.MaxDepth < Budget) every run's tail
+// beyond the horizon is a deterministic fair round-robin, so runs whose
+// prefixes commute into the same horizon state share their tail. The first
+// run to reach a state executes and caches the tail; later runs stop at the
+// horizon, splice the cached tail into their access log (race analysis
+// still sees complete runs) and skip re-checking properties the first
+// visitor already checked on the identical continuation. Result.Joined
+// counts the spliced runs; Config.NoHash disables the layer for
+// differential testing.
+
+// srcNode is one level of the source-DPOR search stack: the state reached by
+// executing chosen[0..depth-1], with its scheduling alternatives.
+type srcNode struct {
+	enabled  sim.Set
+	chosen   sim.PID
+	accesses []sim.Access // the chosen step's access set (owned copy)
+	// covered holds the alternatives already explored (or pruned) at this
+	// node — the classic engine's done set; wut the pending wakeup
+	// sequences, each beginning with the alternative it would explore.
+	covered sim.Set
+	wut     [][]sim.PID
+	sleep   []sleeper // inherited sleep set at entry to this node
+	slept   []sleeper // earlier fully-explored siblings at this node
+}
+
+// srcSearch is the per-configuration source-DPOR state.
+type srcSearch struct {
+	e       *explorer
+	pattern sim.Pattern
+	oracle  OracleChoice
+	n       int
+	log     *sim.AccessLog
+	stack   []srcNode
+
+	// objs/gen: generation-stamped per-object analysis state, as in the
+	// classic engine.
+	objs []objAccess
+	gen  int32
+	// stepClk[k] is step k's post-step vector clock in the current run;
+	// stepSC[k] the stepping process's step count at k. The wakeup-sequence
+	// construction reads both (wakeup.go).
+	stepClk []vclock
+	stepSC  []int32
+	scratch []raceStep
+
+	// joins is the state-hash cache; nil when hashing is off. horizon is the
+	// probe depth (Config.MaxDepth), 0 when hashing is off.
+	joins   *joinCache
+	horizon int
+
+	runs       int64
+	violations int64
+	pruned     int64
+	joined     int64
+	truncated  bool
+}
+
+// sourceConfig runs the source-DPOR DFS for one (pattern, oracle)
+// configuration.
+func (e *explorer) sourceConfig(pattern sim.Pattern, oracle OracleChoice) *srcSearch {
+	n := e.cfg.System.N()
+	if n > dporMaxProcs {
+		panic(fmt.Sprintf("explore: source-DPOR supports n <= %d, got %d", dporMaxProcs, n))
+	}
+	s := &srcSearch{e: e, pattern: pattern, oracle: oracle, n: n, log: sim.NewAccessLog()}
+	if !e.cfg.NoHash && e.cfg.MaxDepth < int(e.cfg.Budget) {
+		s.horizon = e.cfg.MaxDepth
+		s.joins = newJoinCache(e.cfg.MaxStates)
+		s.log.EnableDigest()
+	}
+	var prefix []sim.PID
+	for {
+		if e.stopped() {
+			return s
+		}
+		if e.cfg.MaxRuns > 0 && s.runs >= e.cfg.MaxRuns {
+			s.truncated = true
+			return s
+		}
+		rec := &dporRecord{}
+		sched := rec.schedule(prefix)
+		s.log.Reset()
+
+		// The join probe fires once, when the run's step count reaches the
+		// horizon: on a cache hit the run stops there and reuses the cached
+		// tail; on a miss the completed run's tail is inserted under the
+		// probed key.
+		var hit *joinEntry
+		var probeKey joinKey
+		probed := false
+		var stop func(sim.Time, *sim.QuerySeam) bool
+		if s.horizon > 0 {
+			stop = func(t sim.Time, seam *sim.QuerySeam) bool {
+				if int(t) != s.horizon || probed {
+					return false
+				}
+				probed = true
+				probeKey = joinKey{digest: s.log.StateDigest(), rr: -1}
+				if s.horizon > len(prefix) {
+					probeKey.rr = int16(rec.granted[s.horizon-1])
+				}
+				if seam != nil {
+					probeKey.flips = int32(seam.FlipsRemaining(t))
+				}
+				hit = s.joins.get(probeKey)
+				return hit != nil
+			}
+		}
+
+		run := execute(e.cfg.System, pattern, oracle, sched, e.cfg.Budget, s.log, stop)
+		s.runs++
+		e.runs.Add(1)
+		if hit != nil {
+			// Joined run: splice the cached tail so the race analysis sees
+			// the complete run, and account the first visitor's facts. The
+			// first visitor also checked the identical continuation, so no
+			// property check here.
+			for _, ts := range hit.tail {
+				s.log.AppendStep(ts.p, ts.acc)
+			}
+			rec.granted = append(rec.granted, hit.grants...)
+			run.Schedule = append([]sim.PID(nil), rec.granted...)
+			s.joined++
+			e.joined.Add(1)
+			if hit.settled {
+				e.settled.Add(1)
+			}
+			bumpMax(&e.maxSteps, hit.steps)
+		} else {
+			run.Schedule = append([]sim.PID(nil), rec.granted...)
+			if run.OutputsSettled {
+				e.settled.Add(1)
+			}
+			bumpMax(&e.maxSteps, run.Report.Steps)
+			s.violations += e.check(run, pattern, oracle)
+			if probed {
+				s.joins.put(probeKey, s.log, rec.granted, s.horizon, run.Report.Steps, run.OutputsSettled)
+			}
+		}
+		if sched.Diverged() {
+			// A forced prefix can only diverge if re-execution is not
+			// deterministic — a broken system, not a property of the run.
+			// Wakeup tails cannot diverge either: their steps left-shift to
+			// earlier times, enabledness is monotone, and under flip
+			// schedules the engine degrades to single-step insertion.
+			panic(fmt.Sprintf("explore: source-DPOR prefix diverged on %s under %s, %s (non-deterministic system?)",
+				e.cfg.System.Name(), patternLabel(pattern), oracle.Name))
+		}
+		s.extend(rec)
+		s.analyze()
+		var ok bool
+		prefix, ok = s.nextPrefix(prefix)
+		if !ok {
+			return s
+		}
+	}
+}
+
+// extend refills the branch node's access set from the re-executed run (its
+// alternative just ran for the first time) and appends stack nodes for the
+// steps beyond the current stack (up to MaxDepth) — which include the forced
+// wakeup tail, each node seeded with its executed step as the first covered
+// alternative.
+func (s *srcSearch) extend(rec *dporRecord) {
+	steps := s.log.Steps()
+	if k := len(s.stack); k > 0 {
+		nd := &s.stack[k-1]
+		_, acc := s.log.Step(k - 1)
+		nd.accesses = append(nd.accesses[:0], acc...)
+	}
+	limit := steps
+	if s.e.cfg.MaxDepth < limit {
+		limit = s.e.cfg.MaxDepth
+	}
+	for i := len(s.stack); i < limit; i++ {
+		_, acc := s.log.Step(i)
+		nd := srcNode{
+			enabled:  rec.enabled[i],
+			chosen:   rec.granted[i],
+			accesses: append([]sim.Access(nil), acc...),
+		}
+		nd.covered = sim.EmptySet.Add(nd.chosen)
+		if i > 0 {
+			nd.sleep = inheritSleepSrc(&s.stack[i-1])
+		}
+		s.stack = append(s.stack, nd)
+	}
+}
+
+// inheritSleepSrc filters the parent's sleep entries through the parent's
+// executed step, exactly as the classic engine's inheritSleep.
+func inheritSleepSrc(parent *srcNode) []sleeper {
+	var out []sleeper
+	keep := func(sl sleeper) {
+		if sl.p != parent.chosen && !sim.AccessesConflict(parent.accesses, sl.acc) {
+			out = append(out, sl)
+		}
+	}
+	for _, sl := range parent.sleep {
+		keep(sl)
+	}
+	for _, sl := range parent.slept {
+		keep(sl)
+	}
+	return out
+}
+
+// analyze walks the completed run maintaining the happens-before relation
+// with vector clocks — the same immediate-predecessor scheme as the classic
+// engine — but hands each race to raceReversal, which builds the wakeup
+// sequence instead of a bare backtrack point. Per-step clocks are kept for
+// the notdep computation.
+func (s *srcSearch) analyze() {
+	steps := s.log.Steps()
+	s.gen++
+	if cap(s.stepClk) < steps {
+		s.stepClk = make([]vclock, steps)
+		s.stepSC = make([]int32, steps)
+	}
+	s.stepClk = s.stepClk[:steps]
+	s.stepSC = s.stepSC[:steps]
+	var clk [dporMaxProcs]vclock
+	var scount [dporMaxProcs]int32
+	for i := 0; i < steps; i++ {
+		pid, accs := s.log.Step(i)
+		p := int(pid)
+		// 1. Race detection against the pre-step clock.
+		for _, a := range accs {
+			o := s.obj(a.Obj)
+			if o.wIdx >= 0 && int(o.wPID) != p && clk[p][o.wPID] < o.wSC {
+				s.raceReversal(int(o.wIdx), i, pid, int(o.wPID), o.wSC)
+			}
+			if a.Kind == sim.AccessWrite {
+				for q := 0; q < s.n; q++ {
+					if q == p || o.rIdx[q] < 0 || o.rIdx[q] < o.wIdx {
+						continue
+					}
+					if clk[p][q] < o.rSC[q] {
+						s.raceReversal(int(o.rIdx[q]), i, pid, q, o.rSC[q])
+					}
+				}
+			}
+		}
+		// 2. Join the clocks of the conflicting predecessors.
+		c := clk[p]
+		for _, a := range accs {
+			o := s.obj(a.Obj)
+			if o.wIdx >= 0 {
+				c = c.join(o.wClk)
+			}
+			if a.Kind == sim.AccessWrite {
+				for q := 0; q < s.n; q++ {
+					if o.rIdx[q] >= 0 {
+						c = c.join(o.rClk[q])
+					}
+				}
+			}
+		}
+		scount[p]++
+		c[p] = scount[p]
+		clk[p] = c
+		s.stepClk[i] = c
+		s.stepSC[i] = scount[p]
+		// 3. This step's accesses become the new immediate predecessors.
+		for _, a := range accs {
+			o := s.obj(a.Obj)
+			if a.Kind == sim.AccessWrite {
+				o.wIdx, o.wPID, o.wSC, o.wClk = int32(i), int8(p), scount[p], c
+			} else {
+				o.rIdx[p], o.rSC[p], o.rClk[p] = int32(i), scount[p], c
+			}
+		}
+	}
+}
+
+// obj returns the analysis entry for id in the current run, sharing the
+// classic engine's generation-stamped table layout.
+func (s *srcSearch) obj(id sim.ObjID) *objAccess {
+	for int(id) >= len(s.objs) {
+		s.objs = append(s.objs, objAccess{})
+	}
+	o := &s.objs[id]
+	if o.gen != s.gen {
+		o.gen = s.gen
+		o.wIdx = -1
+		for i := range o.rIdx {
+			o.rIdx[i] = -1
+		}
+	}
+	return o
+}
+
+// raceReversal handles one race between steps b < c (p = proc(c); procB and
+// scB identify step b's process and step count): it builds the wakeup
+// sequence v·p of the reversal and queues it at node b, unless an initial of
+// the sequence shows the reversal is already covered there.
+func (s *srcSearch) raceReversal(b, c int, p sim.PID, procB int, scB int32) {
+	if b >= len(s.stack) {
+		return // beyond MaxDepth: not a choice point
+	}
+	nd := &s.stack[b]
+	s.scratch = s.notDepWindow(s.scratch[:0], b, c, procB, scB)
+	_, accC := s.log.Step(c)
+	v := append(s.scratch, raceStep{p: p, acc: accC})
+	ini := initials(v)
+	// Source-set gate: an initial already explored (or queued, or slept) at
+	// node b covers the reversal — its subtree contains a linearization of
+	// v·p's trace.
+	if !ini.Intersect(nd.covered).IsEmpty() {
+		return
+	}
+	for _, w := range nd.wut {
+		if ini.Has(w[0]) {
+			return
+		}
+	}
+	for _, sl := range nd.sleep {
+		if ini.Has(sl.p) {
+			s.pruned++
+			return
+		}
+	}
+	var seq []sim.PID
+	if len(s.oracle.Flips) == 0 {
+		// Full wakeup sequence: force the next run straight into the
+		// reversal.
+		seq = make([]sim.PID, 0, len(v))
+		for _, e := range v {
+			seq = append(seq, e.p)
+		}
+	} else {
+		// Unstable histories pin output flips to absolute times, so
+		// left-shifting a querying step across a flip boundary could change
+		// its observation and diverge the forced run; degrade to a bare
+		// single-initial insertion (still gated on the source set above).
+		q := p
+		if !ini.Has(p) {
+			q = ini.Min()
+		}
+		seq = []sim.PID{q}
+	}
+	if !nd.enabled.Has(seq[0]) {
+		return // unreachable given monotone enabledness; defensive
+	}
+	if hasSequence(nd.wut, seq) {
+		return
+	}
+	nd.wut = append(nd.wut, seq)
+}
+
+// nextPrefix pops the search to the deepest node with a pending wakeup
+// sequence and returns the forced prefix of the next run: the stack's chosen
+// steps through that node (re-chosen to the sequence head) followed by the
+// rest of the sequence. Sequences whose head is meanwhile covered or asleep
+// are dropped as pruned schedules.
+func (s *srcSearch) nextPrefix(prefix []sim.PID) ([]sim.PID, bool) {
+	for i := len(s.stack) - 1; i >= 0; i-- {
+		nd := &s.stack[i]
+		for len(nd.wut) > 0 {
+			seq := nd.wut[len(nd.wut)-1]
+			nd.wut = nd.wut[:len(nd.wut)-1]
+			q := seq[0]
+			if nd.covered.Has(q) || sleepContains(nd.sleep, q) {
+				s.pruned++
+				continue
+			}
+			// Retire the current child into the sleep set of q's subtree.
+			nd.slept = append(nd.slept, sleeper{p: nd.chosen, acc: nd.accesses})
+			nd.covered = nd.covered.Add(q)
+			nd.chosen = q
+			nd.accesses = nil
+			s.stack = s.stack[:i+1]
+			out := prefix[:0]
+			for k := 0; k <= i; k++ {
+				out = append(out, s.stack[k].chosen)
+			}
+			out = append(out, seq[1:]...)
+			return out, true
+		}
+	}
+	return nil, false
+}

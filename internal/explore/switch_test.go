@@ -188,7 +188,7 @@ func TestArtifactRejectsMalformed(t *testing.T) {
 // the laggard's decision), beyond the enumerator's usual 3-block bound.
 // At MaxBlocks=4 both engines must find the identical violating
 // (pattern, oracle, property) configurations at SwitchBudget=1 — which is
-// also why the fdlab CLI rejects -switch-budget > 0 under -dpor=false: at
+// also why the fdlab CLI rejects -switch-budget > 0 under -engine legacy: at
 // the default 3-block bound the enumerator's pass would be vacuous.
 func TestDifferentialSwitchMutant(t *testing.T) {
 	full := func(engine Engine) *Result {

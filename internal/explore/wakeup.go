@@ -1,0 +1,100 @@
+package explore
+
+import "weakestfd/internal/sim"
+
+// Wakeup-sequence construction for the source-DPOR engine (source.go).
+//
+// When the race analysis of a completed run E finds a race between steps
+// b < c, classic DPOR inserts a bare backtrack point — "try proc(c) at
+// node b" — and hopes the fair tail wanders into the reversal. Source-DPOR
+// (Abdulla, Aronis, Jonsson, Sagonas, POPL 2014) computes the actual
+// *wakeup sequence* v·p: the subsequence of steps strictly between b and c
+// that do not happen-after step b (notdep), followed by p = proc(c). Forcing
+// that sequence steers the next run directly into the race reversal, and the
+// *initials* of v·p — the processes whose first event in the sequence
+// depends on nothing before it — are exactly the alternatives whose
+// exploration from node b already covers the reversal: if any initial has
+// been explored there (the node's covered set), the race needs no new run at
+// all. That gating is what removes classic DPOR's redundant sibling
+// executions; the lost-update toy drops from 6 executed interleavings to its
+// 4 Mazurkiewicz classes.
+//
+// Executability: every process's steps appear in v in program order (notdep
+// is program-order closed — a later step of a process happens-after its
+// earlier ones), steps in v observe no dropped write (a read of a dropped
+// write would make the reader dependent on step b too), and enabledness is
+// monotone under left shifts (crash times are absolute, so a process alive
+// at a later time is alive earlier; returned/halted is forever). A forced
+// wakeup prefix therefore never diverges — with one exception, pre-checked
+// by the engine: histories with pre-stabilization flips pin output switches
+// to *absolute* times, so left-shifting a querying step can move it across a
+// flip boundary and change its observation. Under flip schedules the engine
+// degrades to bare source-set insertion (a single initial, one step), which
+// stays sound and still gates on the covered set.
+
+// raceStep is one entry of a wakeup sequence under construction: a step's
+// process and access set (aliasing the run's access log; consumed before the
+// next run resets it).
+type raceStep struct {
+	p   sim.PID
+	acc []sim.Access
+}
+
+// notDepWindow appends to dst the steps of (b, c) (exclusive) that do not
+// happen-after step b, reading per-step clocks from the current run's
+// analysis. procB/scB identify step b's process and its per-process step
+// count at b; a step k happens-after b exactly when its post-step clock has
+// clk[procB] >= scB.
+func (s *srcSearch) notDepWindow(dst []raceStep, b, c int, procB int, scB int32) []raceStep {
+	for k := b + 1; k < c; k++ {
+		if s.stepClk[k][procB] >= scB {
+			continue
+		}
+		p, acc := s.log.Step(k)
+		dst = append(dst, raceStep{p: p, acc: acc})
+	}
+	return dst
+}
+
+// initials returns the processes with an event in seq that has no
+// dependent predecessor inside seq: no earlier event of the same process,
+// and no earlier conflicting event. These are the first steps of the
+// linearizations of seq's trace — exploring any one of them from the
+// insertion node covers the whole trace.
+func initials(seq []raceStep) sim.Set {
+	out := sim.EmptySet
+	for m, e := range seq {
+		if out.Has(e.p) {
+			continue // an earlier event of e.p is already the candidate
+		}
+		dep := false
+		for l := 0; l < m; l++ {
+			if seq[l].p == e.p || sim.AccessesConflict(seq[l].acc, e.acc) {
+				dep = true
+				break
+			}
+		}
+		if !dep {
+			out = out.Add(e.p)
+		}
+	}
+	return out
+}
+
+// hasSequence reports whether an identical PID sequence is already pending
+// in the node's wakeup set.
+func hasSequence(wut [][]sim.PID, seq []sim.PID) bool {
+outer:
+	for _, w := range wut {
+		if len(w) != len(seq) {
+			continue
+		}
+		for i := range w {
+			if w[i] != seq[i] {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -49,10 +49,17 @@ func (r *Register[T]) DirectRead(l *sim.AccessLog) T {
 	return r.v
 }
 
-// DirectWrite sets the register's value without taking a step.
+// DirectWrite sets the register's value without taking a step. On a
+// digest-enabled log the write carries the new value's fingerprint, keeping
+// the log's state digest (sim.AccessLog.StateDigest) in sync with shared
+// memory without ever re-walking the registers.
 func (r *Register[T]) DirectWrite(l *sim.AccessLog, v T) {
 	if l != nil {
-		l.Record(r.logID(l), sim.AccessWrite)
+		if id := r.logID(l); l.DigestOn() {
+			l.RecordValued(id, sim.AccessWrite, sim.StateFP(v))
+		} else {
+			l.Record(id, sim.AccessWrite)
+		}
 	}
 	r.v = v
 }
@@ -103,7 +110,11 @@ func (s *atomicSnapshot[T]) cellID(l *sim.AccessLog, i int) sim.ObjID {
 // DirectUpdate implements DirectSnapshot.
 func (s *atomicSnapshot[T]) DirectUpdate(l *sim.AccessLog, i sim.PID, v T) {
 	if l != nil {
-		l.Record(s.cellID(l, int(i)), sim.AccessWrite)
+		if id := s.cellID(l, int(i)); l.DigestOn() {
+			l.RecordValued(id, sim.AccessWrite, Some(v).StateFP())
+		} else {
+			l.Record(id, sim.AccessWrite)
+		}
 	}
 	s.cells[i] = Some(v)
 }
@@ -131,13 +142,6 @@ func AsDirect[T any](snap Snapshot[T]) (DirectSnapshot[T], bool) {
 // reads and conditionally writes the object; it is recorded as a single
 // write, which conflicts with everything a read-plus-write would.
 func (c *ConsensusObject) DirectPropose(l *sim.AccessLog, me sim.PID, v sim.Value) sim.Value {
-	if l != nil {
-		if c.logRef != l {
-			c.oid = l.Intern(c.name)
-			c.logRef = l
-		}
-		l.Record(c.oid, sim.AccessWrite)
-	}
 	if !c.accessors.Has(me) {
 		c.accessors = c.accessors.Add(me)
 		if c.accessors.Len() > c.limit {
@@ -146,6 +150,20 @@ func (c *ConsensusObject) DirectPropose(l *sim.AccessLog, me sim.PID, v sim.Valu
 	}
 	if !c.decided.OK {
 		c.decided = Some(v)
+	}
+	if l != nil {
+		if c.logRef != l {
+			c.oid = l.Intern(c.name)
+			c.logRef = l
+		}
+		// The recorded fingerprint is the object's post-propose state — the
+		// first proposal wins, so a losing propose re-installs the winner's
+		// fingerprint, which is exactly its write-like effect on the state.
+		if l.DigestOn() {
+			l.RecordValued(c.oid, sim.AccessWrite, c.decided.StateFP())
+		} else {
+			l.Record(c.oid, sim.AccessWrite)
+		}
 	}
 	return c.decided.V
 }

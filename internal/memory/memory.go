@@ -29,6 +29,15 @@ func Some[T any](v T) Opt[T] { return Opt[T]{V: v, OK: true} }
 // None returns the absent optional (⊥).
 func None[T any]() Opt[T] { return Opt[T]{} }
 
+// StateFP implements sim.Fingerprinter: ⊥ is distinct from every present
+// value, and present values fingerprint by their content.
+func (o Opt[T]) StateFP() uint64 {
+	if !o.OK {
+		return 0x9d6e1c2b0b07a55a
+	}
+	return sim.StateFP(o.V)
+}
+
 // Register is an atomic multi-reader multi-writer register holding a value
 // of type T. The zero value... is not usable; construct with NewRegister so
 // the register carries a name for traces.

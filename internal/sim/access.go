@@ -65,6 +65,22 @@ type AccessLog struct {
 	buf   []Access
 	spans []stepSpan
 	start int32
+
+	// State-digest support (EnableDigest): the incremental machinery behind
+	// StateDigest, maintained only when digestOn — the plain recording path
+	// stays zero-allocation. objFP[id] fingerprints object id's *current*
+	// value (0 = still holding its initial value); fps parallels buf with
+	// the value fingerprint each access observed or installed; procH[p] is
+	// process p's rolling observation hash, folded once per step by EndStep.
+	digestOn bool
+	objFP    []uint64
+	fps      []uint64
+	procH    []uint64
+	// unkWrites salts writes recorded without a value fingerprint (plain
+	// Record with AccessWrite): each gets a unique fingerprint, so digests
+	// involving such objects simply never match — conservative, never
+	// unsound.
+	unkWrites uint64
 }
 
 // NewAccessLog returns an empty log.
@@ -99,6 +115,107 @@ func (l *AccessLog) Record(obj ObjID, kind AccessKind) {
 		return
 	}
 	l.buf = append(l.buf, Access{Obj: obj, Kind: kind})
+	if l.digestOn {
+		fp := l.objFPAt(obj)
+		if kind == AccessWrite {
+			// A write without a value fingerprint: install a unique one so
+			// equal digests never silently merge states behind it.
+			l.unkWrites++
+			fp = fpMix(l.unkWrites, uint64(obj))
+			l.objFP[obj] = fp
+		}
+		l.fps = append(l.fps, fp)
+	}
+}
+
+// RecordValued appends one access carrying the fingerprint of the value the
+// access installed (writes) — the digest-aware recording path the
+// instrumented accessors in internal/memory use when DigestOn. For reads
+// the value observed is, by definition, the object's current fingerprint,
+// so readers call plain Record. Nil-safe no-op; falls back to Record when
+// the digest is off.
+func (l *AccessLog) RecordValued(obj ObjID, kind AccessKind, fp uint64) {
+	if l == nil {
+		return
+	}
+	l.buf = append(l.buf, Access{Obj: obj, Kind: kind})
+	if l.digestOn {
+		if kind == AccessWrite {
+			l.objFPAt(obj)
+			l.objFP[obj] = fpMix(11, fp)
+		}
+		l.fps = append(l.fps, fpMix(11, fp))
+	}
+}
+
+// objFPAt returns object id's current value fingerprint, growing the table
+// on first sight (0 = initial value, a fingerprint no RecordValued write can
+// install because fpMix never returns its own seed class by construction —
+// and even a collision there would only make the digest more conservative).
+func (l *AccessLog) objFPAt(obj ObjID) uint64 {
+	for int(obj) >= len(l.objFP) {
+		l.objFP = append(l.objFP, 0)
+	}
+	return l.objFP[obj]
+}
+
+// EnableDigest switches on incremental state-digest maintenance for every
+// subsequent run recorded into the log (Reset keeps it on). The recording
+// hot path pays fingerprint folds only while enabled.
+func (l *AccessLog) EnableDigest() {
+	if l == nil {
+		return
+	}
+	l.digestOn = true
+}
+
+// DigestOn reports whether the log maintains state digests; the
+// instrumented write accessors consult it to decide between Record and
+// RecordValued.
+func (l *AccessLog) DigestOn() bool { return l != nil && l.digestOn }
+
+// StateDigest returns the canonical hash of the simulation state reached by
+// the steps recorded so far: every object's current-value fingerprint plus
+// every process's rolling observation hash. Two recorded prefixes of the
+// same configuration with equal digests reached (up to 64-bit hash
+// collisions) identical shared state *and* identical per-process local
+// states — a machine's local state is a deterministic function of its
+// observation sequence, which procH hashes access by access, value by
+// value, with a per-step marker so even yield steps advance it (the
+// "per-process PC"). See internal/explore/hash.go for the join argument
+// built on top.
+func (l *AccessLog) StateDigest() uint64 {
+	h := fpSeed
+	for id, fp := range l.objFP {
+		if fp != 0 {
+			h = fpMix(h, fpMix(uint64(id), fp))
+		}
+	}
+	for p, ph := range l.procH {
+		if ph != 0 {
+			h = fpMix(h, fpMix(uint64(p), ph))
+		}
+	}
+	return h
+}
+
+// AppendStep injects a step span that was not executed in this run — the
+// explorer's state-hash join replays the cached tail of an equivalent
+// earlier run into the log so the post-run race analysis sees a complete
+// trace. Digest state is deliberately not advanced: joins happen at the
+// branch horizon, after which no digest is taken. Nil-safe no-op.
+func (l *AccessLog) AppendStep(p PID, accs []Access) {
+	if l == nil {
+		return
+	}
+	start := int32(len(l.buf))
+	l.buf = append(l.buf, accs...)
+	if l.digestOn {
+		for range accs {
+			l.fps = append(l.fps, 0)
+		}
+	}
+	l.spans = append(l.spans, stepSpan{p: p, start: start, end: int32(len(l.buf))})
 }
 
 // BeginStep opens a new step span; the runner calls it immediately before
@@ -118,6 +235,19 @@ func (l *AccessLog) EndStep(p PID) {
 		return
 	}
 	l.spans = append(l.spans, stepSpan{p: p, start: l.start, end: int32(len(l.buf))})
+	if l.digestOn {
+		for int(p) >= len(l.procH) {
+			l.procH = append(l.procH, 0)
+		}
+		h := l.procH[p]
+		for i := l.start; i < int32(len(l.buf)); i++ {
+			a := l.buf[i]
+			h = fpMix(h, fpMix(uint64(a.Obj)<<1|uint64(a.Kind), l.fps[i]))
+		}
+		// Step marker: even an access-free (yield) step advances the
+		// process's observation hash — the per-process program counter.
+		l.procH[p] = fpMix(h, 10)
+	}
 }
 
 // Reset clears the recorded steps, keeping the intern table (and hence ID
@@ -129,6 +259,16 @@ func (l *AccessLog) Reset() {
 	l.buf = l.buf[:0]
 	l.spans = l.spans[:0]
 	l.start = 0
+	if l.digestOn {
+		for i := range l.objFP {
+			l.objFP[i] = 0
+		}
+		for i := range l.procH {
+			l.procH[i] = 0
+		}
+		l.fps = l.fps[:0]
+		l.unkWrites = 0
+	}
 }
 
 // Steps returns the number of recorded steps (0 on a nil log).

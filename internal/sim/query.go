@@ -113,12 +113,42 @@ func (q *QuerySeam) OnStep(t Time) {
 		s := &q.hists[i]
 		for _, ft := range s.flips {
 			if ft == t {
-				q.log.Record(s.id, AccessWrite)
+				if q.log.DigestOn() {
+					// Fingerprint the post-flip output (uniform across
+					// processes by the FlipOracle contract), so the history
+					// object participates in state digests like any other
+					// shared object: a query after the flip reads the new
+					// fingerprint, and prefixes on opposite sides of a flip
+					// can never be joined on a stale one.
+					q.log.RecordValued(s.id, AccessWrite, StateFP(s.h.Value(0, t)))
+				} else {
+					q.log.Record(s.id, AccessWrite)
+				}
 			} else if ft == t+1 {
 				q.log.Record(s.id, AccessRead)
 			}
 		}
 	}
+}
+
+// FlipsRemaining counts, over every registered history, the output switches
+// still ahead of time t — the flips-remaining index the explorer's
+// state-hash join folds into its keys, so states that agree on shared
+// memory but differ in how much environment scheduling is still pending are
+// never identified. Nil-safe (0).
+func (q *QuerySeam) FlipsRemaining(t Time) int {
+	if q == nil {
+		return 0
+	}
+	n := 0
+	for i := range q.hists {
+		for _, ft := range q.hists[i].flips {
+			if ft > t {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // Query evaluates oracle h at (p, t), recording the query as a read of h's

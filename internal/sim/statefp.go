@@ -1,0 +1,90 @@
+package sim
+
+import "fmt"
+
+// State fingerprints: 64-bit hashes of shared-object values, the raw
+// material of the explorer's state-hash join cache (internal/explore). A
+// digest-enabled AccessLog folds, per object, the fingerprint of its current
+// value and, per process, the fingerprint sequence of everything the process
+// observed — together a canonical hash of the reachable simulation state
+// (see AccessLog.StateDigest). Fingerprints only need to be *injective up to
+// hash collisions*: equal values must produce equal fingerprints, distinct
+// values should produce distinct ones with 64-bit probability.
+
+// fpSeed is the fingerprint fold seed (the splitmix64 increment).
+const fpSeed uint64 = 0x9e3779b97f4a7c15
+
+// fpMix folds x into h with a splitmix64-style finalizer: full avalanche per
+// fold, so field order matters and prefix collisions do not propagate.
+func fpMix(h, x uint64) uint64 {
+	h ^= x + fpSeed + (h << 6) + (h >> 2)
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// Fingerprinter lets composite shared-object value types (optionals, structs
+// stored in registers and snapshots) supply their own state fingerprint.
+// StateFP dispatches to it before falling back to reflection-style
+// formatting.
+type Fingerprinter interface {
+	StateFP() uint64
+}
+
+// StateFP returns the 64-bit state fingerprint of a shared-object value.
+// The type switch covers every value type the protocols store in shared
+// objects (see internal/memory, internal/core, internal/converge); types
+// outside it either implement Fingerprinter or fall back to hashing their
+// fmt representation — slower, but still sound (equal values format
+// equally).
+func StateFP(v any) uint64 {
+	switch x := v.(type) {
+	case nil:
+		return fpMix(1, 0)
+	case bool:
+		if x {
+			return fpMix(2, 1)
+		}
+		return fpMix(2, 0)
+	case int:
+		return fpMix(3, uint64(x))
+	case int64:
+		return fpMix(3, uint64(x))
+	case uint64:
+		return fpMix(3, x)
+	case Value:
+		return fpMix(4, uint64(x))
+	case Time:
+		return fpMix(5, uint64(x))
+	case PID:
+		return fpMix(6, uint64(x))
+	case Set:
+		return fpMix(7, uint64(x))
+	case string:
+		h := fpSeed
+		for i := 0; i < len(x); i++ {
+			h = fpMix(h, uint64(x[i]))
+		}
+		return fpMix(8, h)
+	case Fingerprinter:
+		return x.StateFP()
+	default:
+		return stateFPSlow(v)
+	}
+}
+
+// stateFPSlow is the formatting fallback for value types the switch does not
+// know, kept out of line so the common cases stay allocation-light.
+//
+//go:noinline
+func stateFPSlow(v any) uint64 {
+	s := fmt.Sprintf("%T:%v", v, v)
+	h := fpSeed
+	for i := 0; i < len(s); i++ {
+		h = fpMix(h, uint64(s[i]))
+	}
+	return fpMix(9, h)
+}
