@@ -1,0 +1,30 @@
+// fdlint is the repository's soundness linter: a go vet -vettool binary
+// bundling the four fdlint analyzers (accesscheck, seamcheck, determinism,
+// enginecase). See internal/analysis for what each rule protects.
+//
+// Usage:
+//
+//	go build -o fdlint ./cmd/fdlint
+//	go vet -vettool=$PWD/fdlint ./...
+//
+// The binary speaks the unitchecker protocol, so it must be driven by the
+// go command (which supplies per-package type-check configuration); it is
+// not a standalone file checker.
+package main
+
+import (
+	"weakestfd/internal/analysis/accesscheck"
+	"weakestfd/internal/analysis/determinism"
+	"weakestfd/internal/analysis/enginecase"
+	"weakestfd/internal/analysis/seamcheck"
+	"weakestfd/internal/xtools/go/analysis/unitchecker"
+)
+
+func main() {
+	unitchecker.Main(
+		accesscheck.Analyzer,
+		seamcheck.Analyzer,
+		determinism.Analyzer,
+		enginecase.Analyzer,
+	)
+}

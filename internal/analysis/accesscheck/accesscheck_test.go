@@ -1,0 +1,12 @@
+package accesscheck_test
+
+import (
+	"testing"
+
+	"weakestfd/internal/analysis/accesscheck"
+	"weakestfd/internal/analysis/analysistest"
+)
+
+func TestAccessCheck(t *testing.T) {
+	analysistest.Run(t, accesscheck.Analyzer, "a")
+}

@@ -1,0 +1,47 @@
+// Package a exercises accesscheck: machine-world code must touch shared
+// memory only through the AccessLog-taking Direct* accessors.
+package a
+
+import (
+	"weakestfd/internal/memory"
+	"weakestfd/internal/sim"
+)
+
+type mach struct {
+	r   *memory.Register[int]
+	arr *memory.Array[int]
+	log *sim.AccessLog
+	dec sim.Value
+}
+
+func (m *mach) Init(ctx sim.MachineContext) { m.log = ctx.Log }
+
+func (m *mach) Step(t sim.Time) sim.MachineStatus {
+	v := m.r.DirectRead(m.log) // instrumented: fine
+	_ = m.r.Inspect()          // want `memory.Inspect bypasses the AccessLog-instrumented Direct\* accessors`
+	_ = m.r.Read(nil)          // want `memory.Read bypasses the AccessLog-instrumented Direct\* accessors`
+	_ = m.arr.Collect(nil)     // want `memory.Collect bypasses the AccessLog-instrumented Direct\* accessors`
+	_ = m.r.V                  // want `raw field access to memory.V`
+	m.r.DirectWrite(m.log, v+1)
+	_ = m.arr.N()                     // shape metadata: fine
+	_ = m.arr.At(0).DirectRead(m.log) // navigation + instrumented access: fine
+	//lint:fdlint accesscheck -- audited exception exercising the suppression path
+	_ = m.r.Inspect()
+	var o memory.Opt[int]
+	_ = o.V // Opt is a value type, not shared state: fine
+	m.dec = sim.Value(v)
+	return sim.MachineDecided
+}
+
+func (m *mach) Decision() sim.Value { return m.dec }
+
+// helper carries the run's access log, so it is machine-world code too.
+func helper(l *sim.AccessLog, r *memory.Register[int]) int {
+	return r.Inspect() // want `memory.Inspect bypasses the AccessLog-instrumented Direct\* accessors`
+}
+
+// postRunCheck is not machine-world: Inspect is the documented accessor for
+// schedules, stop predicates and post-run assertions.
+func postRunCheck(r *memory.Register[int]) int {
+	return r.Inspect()
+}

@@ -1,0 +1,11 @@
+package a
+
+import (
+	"weakestfd/internal/memory"
+	"weakestfd/internal/sim"
+)
+
+// Test files are exempt: assertions legitimately inspect raw state.
+func assertState(l *sim.AccessLog, r *memory.Register[int]) int {
+	return r.Inspect()
+}

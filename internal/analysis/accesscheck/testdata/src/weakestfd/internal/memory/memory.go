@@ -1,0 +1,37 @@
+// Package memory is a minimal stub of the real weakestfd/internal/memory.
+// Unlike the real package it exports a state field (V) so the raw-field
+// positive case is expressible from another package; the real types keep
+// state unexported as defense in depth, and accesscheck is the layer that
+// catches in-package style leaks if that ever changes.
+package memory
+
+import "weakestfd/internal/sim"
+
+type Register[T any] struct {
+	V T // shared-object state; exported only in this stub
+}
+
+func NewRegister[T any](name string) *Register[T] { return &Register[T]{} }
+
+func (r *Register[T]) DirectRead(l *sim.AccessLog) T     { return r.V }
+func (r *Register[T]) DirectWrite(l *sim.AccessLog, v T) { r.V = v }
+func (r *Register[T]) Inspect() T                        { return r.V }
+func (r *Register[T]) Read(step func()) T                { return r.V }
+func (r *Register[T]) Write(step func(), v T)            { r.V = v }
+
+type Array[T any] struct {
+	regs []*Register[T]
+}
+
+func NewArray[T any](name string, n int) *Array[T] {
+	return &Array[T]{regs: make([]*Register[T], n)}
+}
+
+func (a *Array[T]) N() int                    { return len(a.regs) }
+func (a *Array[T]) At(i sim.PID) *Register[T] { return a.regs[i] }
+func (a *Array[T]) Collect(step func()) []T   { return nil }
+
+type Opt[T any] struct {
+	V  T
+	OK bool
+}

@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"weakestfd/internal/analysis/analysistest"
+	"weakestfd/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer, "weakestfd/internal/explore", "a")
+}

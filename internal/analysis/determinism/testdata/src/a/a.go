@@ -1,0 +1,41 @@
+// Package a exercises determinism's machine-world scope: Step/Init bodies
+// are checked in every package, while plain helpers in unscoped packages
+// are not.
+package a
+
+import (
+	"time"
+
+	"weakestfd/internal/sim"
+)
+
+type mach struct {
+	seen map[sim.PID]sim.Value
+	dec  sim.Value
+}
+
+func (m *mach) Init(ctx sim.MachineContext) {
+	m.seen = map[sim.PID]sim.Value{}
+}
+
+func (m *mach) Step(t sim.Time) sim.MachineStatus {
+	if time.Now().Unix() > 0 { // want `time.Now in deterministic scope`
+		m.seen[0] = 1
+	}
+	for _, v := range m.seen { // want `map iteration order is nondeterministic`
+		m.dec = v
+	}
+	return sim.MachineDecided
+}
+
+func (m *mach) Decision() sim.Value { return m.dec }
+
+// wallClock is not machine-world and package a is not a scoped package:
+// nothing is flagged here.
+func wallClock() int64 {
+	m := map[int]int{1: 1}
+	for k := range m {
+		_ = k
+	}
+	return time.Now().Unix()
+}

@@ -1,0 +1,55 @@
+// Package explore stubs the explorer's hot paths: every function in a
+// package whose path ends internal/explore is in determinism's scope.
+package explore
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now in deterministic scope`
+}
+
+func noise() int {
+	return rand.Intn(3) // want `math/rand.Intn in deterministic scope`
+}
+
+func pick(m map[int]string) string {
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		return v
+	}
+	return ""
+}
+
+func spawn(ch chan int) {
+	go func() { ch <- 1 }() // want `go statement in deterministic scope`
+	select {
+	case <-ch:
+	default: // want `select with default branches on scheduler state`
+	}
+}
+
+// sortedPick shows the audited fix pattern: the collection loop is
+// order-insensitive (suppressed with justification), and every consumer
+// iterates the sorted slice.
+func sortedPick(m map[int]string) string {
+	keys := make([]int, 0, len(m))
+	//lint:fdlint determinism -- order-insensitive key collection; consumers iterate the sorted slice
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	if len(keys) == 0 {
+		return ""
+	}
+	return m[keys[0]]
+}
+
+// elapsed uses time.Since on a caller-supplied start: wall-clock metadata
+// is fine as long as time.Now itself sits outside the deterministic scope
+// or under an audited suppression.
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}

@@ -1,0 +1,67 @@
+// Package analysis is the home of fdlint: a go/analysis suite that turns
+// the explorer's soundness conventions into machine-checked invariants.
+//
+// Every headline number the explorer produces — "violation-free over the
+// full n≤3 suite", "19,637 runs instead of 273,092", "the mutant is killed
+// at SwitchBudget 1" — rests on three properties that no test can establish,
+// because they are properties of the *code*, not of any particular run:
+//
+//  1. Completeness of the dependency relation. DPOR (classic and source)
+//     prunes a schedule only when every pair of reordered steps is
+//     independent, and independence is computed from the access sets that
+//     machines report through sim.AccessLog. One uninstrumented
+//     shared-object access makes the relation under-approximate real
+//     conflicts, and the pruning silently drops reachable schedules.
+//  2. Seam-routed detector observation. Unstable-history exploration is
+//     sound because queries and output flips are conflicting accesses of a
+//     virtual history object (internal/sim/query.go). A query that
+//     bypasses the seam is invisible to that conflict relation.
+//  3. Determinism of steps and hot paths. Replayable artifacts,
+//     cross-engine differential equality and state-hash joins all assume a
+//     run is a pure function of (config, schedule, seeds).
+//
+// The four analyzers map onto those properties:
+//
+//   - accesscheck (invariant 1): in machine-world code, shared-object state
+//     may only be touched through the AccessLog-taking Direct* accessors of
+//     internal/memory; raw field access and the Proc-based or Inspect-style
+//     accessors are flagged.
+//   - seamcheck (invariant 2): detector output may only be observed via
+//     fd.Query, fd.QueryAt or sim.QuerySeam.Query; direct Oracle.Value
+//     calls are flagged outside internal/fd.
+//   - determinism (invariant 3): in Step/Init bodies, machine-world helpers
+//     and the internal/explore + internal/sim hot paths, time.Now,
+//     math/rand, map ranging, select-with-default and go statements are
+//     flagged.
+//   - enginecase (meta-invariant): switches over explore.Engine must list
+//     every engine constant, so a future engine cannot silently inherit
+//     another engine's dispatch arm and void the differential-testing story.
+//
+// # Suppression policy
+//
+// A finding is silenced only by an audited exception:
+//
+//	//lint:fdlint <analyzer> -- <justification>
+//
+// on the flagged line, the line above it, or (file-wide) on or above the
+// package clause. The justification must name the mechanism that replaces
+// the static guarantee — e.g. the goroutine engine's step gate enforcing
+// atomicity dynamically, or a history transformer being oracle *plumbing*
+// whose output is itself observed through the seam. Suppressions without a
+// justification fail code review, not the build: the directive's " -- "
+// tail is deliberately free text, and `git grep 'lint:fdlint'` is the audit
+// surface. See internal/analysis/suppress.
+//
+// # Running
+//
+// cmd/fdlint is a unitchecker binary; CI (and the smoke test in
+// smoke_test.go) run it over the whole repository as
+//
+//	go build -o fdlint ./cmd/fdlint
+//	go vet -vettool=$PWD/fdlint ./...
+//
+// Each analyzer also has an analysistest-style suite under its testdata/src
+// tree, driven by the loader in internal/analysis/analysistest (the
+// framework subset vendored in internal/xtools has no go/packages, so the
+// loader resolves testdata stubs by path suffix and the stdlib from source).
+package analysis

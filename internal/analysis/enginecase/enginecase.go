@@ -1,0 +1,107 @@
+// Package enginecase defines the fdlint analyzer that keeps explore.Engine
+// switches exhaustive.
+//
+// The explorer dispatches on explore.Engine in several places: run
+// execution (exploreConfig), labelling, CLI parsing. The engines are
+// deliberately kept differentially comparable — the clean-suite violation
+// sets of source-DPOR, classic DPOR and the block enumerator must be
+// identical — so a switch that silently routes an unknown engine into one
+// of the existing arms (via default, or by falling off the end) would let a
+// future fourth engine inherit another engine's code path without anyone
+// noticing: sweeps would run, report "violation-free", and test a different
+// algorithm than claimed.
+//
+// The rule: every switch statement whose tag has type explore.Engine must
+// have an explicit case for every declared constant of that type. A default
+// clause is allowed *in addition* (as a panic guard for corrupted values)
+// but never substitutes for a missing enumerator.
+package enginecase
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"weakestfd/internal/analysis/simtypes"
+	"weakestfd/internal/analysis/suppress"
+	"weakestfd/internal/xtools/go/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "enginecase",
+	Doc:  "switches over explore.Engine must cover every engine constant explicitly",
+	URL:  "weakestfd/internal/analysis",
+	Run:  run,
+}
+
+// enumFlag names the enum type as <pkg path suffix>.<type name>.
+var enumFlag = "internal/explore.Engine"
+
+func init() {
+	Analyzer.Flags.StringVar(&enumFlag, "enum", enumFlag,
+		"enum type to enforce exhaustiveness for, as pkgPathSuffix.TypeName")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if strings.Contains(pass.Pkg.Path(), "internal/xtools") {
+		return nil, nil
+	}
+	dot := strings.LastIndex(enumFlag, ".")
+	if dot < 0 {
+		return nil, nil
+	}
+	pkgSuffix, typeName := enumFlag[:dot], enumFlag[dot+1:]
+	sup := suppress.New(pass)
+	simtypes.NonTestFuncs(pass, func(decl *ast.FuncDecl) {
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tagType := pass.TypesInfo.TypeOf(sw.Tag)
+			if tagType == nil || !simtypes.IsNamed(tagType, pkgSuffix, typeName) {
+				return true
+			}
+			named := types.Unalias(tagType).(*types.Named)
+			missing := missingConstants(pass, named, sw)
+			if len(missing) > 0 {
+				sup.Report(pass, sw.Switch,
+					"switch over %s.%s is not exhaustive: missing %s (an unlisted engine must fail loudly, not inherit another engine's arm)",
+					named.Obj().Pkg().Name(), typeName, strings.Join(missing, ", "))
+			}
+			return true
+		})
+	})
+	return nil, nil
+}
+
+// missingConstants returns the names of declared constants of typ (in its
+// defining package's scope) whose values no case clause of sw covers.
+func missingConstants(pass *analysis.Pass, typ *types.Named, sw *ast.SwitchStmt) []string {
+	covered := map[string]bool{} // by exact constant value
+	for _, clause := range sw.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+	scope := typ.Obj().Pkg().Scope()
+	var missing []string
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), typ) {
+			continue
+		}
+		if !covered[c.Val().ExactString()] {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	return missing
+}

@@ -1,0 +1,12 @@
+package enginecase_test
+
+import (
+	"testing"
+
+	"weakestfd/internal/analysis/analysistest"
+	"weakestfd/internal/analysis/enginecase"
+)
+
+func TestEngineCase(t *testing.T) {
+	analysistest.Run(t, enginecase.Analyzer, "weakestfd/internal/explore", "c")
+}

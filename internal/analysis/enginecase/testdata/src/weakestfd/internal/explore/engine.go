@@ -1,0 +1,37 @@
+// Package explore stubs the explorer's Engine enum for the enginecase
+// analyzer: three engines today, and every switch must name all of them.
+package explore
+
+type Engine uint8
+
+const (
+	EngineSource Engine = iota
+	EngineDPOR
+	EngineEnum
+)
+
+// Label is exhaustive with a panic default: the sanctioned shape.
+func Label(e Engine) string {
+	switch e {
+	case EngineSource:
+		return "source"
+	case EngineDPOR:
+		return "classic"
+	case EngineEnum:
+		return "legacy"
+	default:
+		panic("unknown engine")
+	}
+}
+
+// stale misses the newest engine; the default arm would silently absorb it.
+func stale(e Engine) string {
+	switch e { // want `switch over explore.Engine is not exhaustive: missing EngineEnum`
+	case EngineSource:
+		return "source"
+	case EngineDPOR:
+		return "classic"
+	default:
+		return "source"
+	}
+}

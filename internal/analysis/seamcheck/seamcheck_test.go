@@ -1,0 +1,12 @@
+package seamcheck_test
+
+import (
+	"testing"
+
+	"weakestfd/internal/analysis/analysistest"
+	"weakestfd/internal/analysis/seamcheck"
+)
+
+func TestSeamCheck(t *testing.T) {
+	analysistest.Run(t, seamcheck.Analyzer, "b")
+}

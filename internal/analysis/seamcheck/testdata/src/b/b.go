@@ -1,0 +1,38 @@
+// Package b exercises seamcheck: detector output may only be observed
+// through the query seam, never via a direct Oracle.Value call.
+package b
+
+import "weakestfd/internal/sim"
+
+// leader is a concrete oracle (a stable Ω history).
+type leader struct{ l sim.PID }
+
+func (h *leader) Value(p sim.PID, t sim.Time) any { return h.l }
+
+func observeInterface(h sim.Oracle, p sim.PID, t sim.Time) any {
+	return h.Value(p, t) // want `detector output observed via Oracle.Value`
+}
+
+func observeConcrete(h *leader, p sim.PID, t sim.Time) any {
+	return h.Value(p, t) // want `detector output observed via Oracle.Value`
+}
+
+// viaSeam is the sanctioned machine-world path: the seam records the read.
+func viaSeam(q *sim.QuerySeam, h sim.Oracle, p sim.PID, t sim.Time) any {
+	return q.Query(h, p, t)
+}
+
+// notOracle has a Value method with the wrong shape: not a detector.
+type notOracle struct{}
+
+func (notOracle) Value() int { return 0 }
+
+func fine(n notOracle) int { return n.Value() }
+
+// audited carries the suppression an oracle transformer would: it defines
+// one history pointwise in terms of another, and its own output is only
+// ever observed through the seam.
+func audited(h sim.Oracle, p sim.PID, t sim.Time) any {
+	//lint:fdlint seamcheck -- history transformer: plumbing, output re-observed through the seam
+	return h.Value(p, t)
+}

@@ -1,0 +1,47 @@
+// Package sim is a minimal stub of the real weakestfd/internal/sim: just
+// the types the accesscheck analyzer resolves by path suffix.
+package sim
+
+type (
+	PID           int
+	Time          int64
+	Value         int64
+	MachineStatus uint8
+	ObjID         int
+	AccessKind    uint8
+)
+
+const (
+	MachineRunning MachineStatus = iota
+	MachineDecided
+	MachineHalted
+)
+
+const (
+	AccessRead AccessKind = iota
+	AccessWrite
+)
+
+type AccessLog struct{}
+
+func (l *AccessLog) Intern(name string) ObjID      { return 0 }
+func (l *AccessLog) Record(id ObjID, k AccessKind) {}
+
+type Oracle interface{ Value(p PID, t Time) any }
+
+type QuerySeam struct{}
+
+func (q *QuerySeam) Query(h Oracle, p PID, t Time) any { return nil }
+
+type MachineContext struct {
+	ID      PID
+	N       int
+	Log     *AccessLog
+	Queries *QuerySeam
+}
+
+type StepMachine interface {
+	Init(ctx MachineContext)
+	Step(t Time) MachineStatus
+	Decision() Value
+}

@@ -1,0 +1,58 @@
+// Package analysis_test holds the end-to-end smoke test for the fdlint
+// vettool: the binary must build and the real repository must vet clean
+// under it. The per-analyzer behaviour is covered by the analysistest
+// suites next to each analyzer; this test pins the wiring — unitchecker
+// registration, flag plumbing, suppression parsing — against the actual
+// module.
+package analysis_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// moduleRoot walks up from the working directory to the directory holding
+// go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("module root not found")
+		}
+		dir = parent
+	}
+}
+
+// TestFDLintCleanOnRepo builds cmd/fdlint and runs it over the whole module
+// via the vet vettool protocol. Any finding not carrying an audited
+// //lint:fdlint suppression fails the build — which is exactly the contract
+// CI enforces.
+func TestFDLintCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the module twice; skipped under -short")
+	}
+	root := moduleRoot(t)
+	tool := filepath.Join(t.TempDir(), "fdlint")
+
+	build := exec.Command("go", "build", "-o", tool, "./cmd/fdlint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building fdlint: %v\n%s", err, out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Errorf("fdlint reported findings on the repo:\n%s", out)
+	}
+}

@@ -727,6 +727,7 @@ func (m *heartbeatMachine) Step(_ sim.Time) sim.MachineStatus {
 		// Inspecting the own output register is process-local knowledge
 		// (only this process writes it), so it is not a recorded access:
 		// it cannot conflict with any other process's step.
+		//lint:fdlint accesscheck -- single-writer register owned by this process; unrecorded reads of it cannot create a missed dependency
 		if changed || h.out.At(m.me).Inspect() != m.u {
 			m.pc = hbOutWrite
 		} else {

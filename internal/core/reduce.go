@@ -20,9 +20,11 @@ import (
 // direction Ω ⇒ Υ; it is legal for every n.
 func ComplementOfOmega(omega sim.Oracle, n int) sim.Oracle {
 	return fd.FuncOracle(func(p sim.PID, t sim.Time) any {
-		l, ok := omega.Value(p, t).(sim.PID)
+		//lint:fdlint seamcheck -- history transformer: defines the derived Υ history pointwise from Ω; the derived output is what machines observe, and they observe it through the seam
+		out := omega.Value(p, t)
+		l, ok := out.(sim.PID)
 		if !ok {
-			panic(fmt.Sprintf("core: Ω output has type %T, want sim.PID", omega.Value(p, t)))
+			panic(fmt.Sprintf("core: Ω output has type %T, want sim.PID", out))
 		}
 		return sim.SetOf(l).Complement(n)
 	})
@@ -37,9 +39,11 @@ func ComplementOfOmega(omega sim.Oracle, n int) sim.Oracle {
 // leader at every correct process).
 func OmegaFromUpsilon2(upsilon sim.Oracle) sim.Oracle {
 	return fd.FuncOracle(func(p sim.PID, t sim.Time) any {
-		u, ok := upsilon.Value(p, t).(sim.Set)
+		//lint:fdlint seamcheck -- history transformer: defines the derived Ω history pointwise from Υ; machines observe the derived history through the seam
+		out := upsilon.Value(p, t)
+		u, ok := out.(sim.Set)
 		if !ok {
-			panic(fmt.Sprintf("core: Υ output has type %T, want sim.Set", upsilon.Value(p, t)))
+			panic(fmt.Sprintf("core: Υ output has type %T, want sim.Set", out))
 		}
 		if u.Len() == 1 {
 			return u.Complement(2).Min()

@@ -147,9 +147,11 @@ func (s UpsilonSpec) StableChoice(f sim.Pattern, seed int64) sim.Set {
 // memory is needed; the reduction is local.
 func ComplementOfOmegaF(omegaF sim.Oracle, n int) sim.Oracle {
 	return fd.FuncOracle(func(p sim.PID, t sim.Time) any {
-		s, ok := omegaF.Value(p, t).(sim.Set)
+		//lint:fdlint seamcheck -- history transformer: defines the derived Υ^f history pointwise from Ω^f; machines observe the derived history through the seam
+		out := omegaF.Value(p, t)
+		s, ok := out.(sim.Set)
 		if !ok {
-			panic(fmt.Sprintf("core: Ω^f output has type %T, want sim.Set", omegaF.Value(p, t)))
+			panic(fmt.Sprintf("core: Ω^f output has type %T, want sim.Set", out))
 		}
 		c := s.Complement(n)
 		if c.IsEmpty() {

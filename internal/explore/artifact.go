@@ -169,6 +169,7 @@ func ReadArtifact(path string) (*Artifact, error) {
 // pattern reconstructs the failure pattern.
 func (a *Artifact) pattern() (sim.Pattern, error) {
 	crashes := make(map[sim.PID]sim.Time, len(a.Crashes))
+	//lint:fdlint determinism -- map-to-map reconstruction: the resulting pattern is independent of iteration order
 	for key, t := range a.Crashes {
 		pid, err := strconv.Atoi(key)
 		if err != nil || pid < 0 || pid >= a.N {

@@ -248,6 +248,7 @@ func roundSkipper(run *Run) sim.PID {
 			continue
 		}
 		lo, hi := -1, -1
+		//lint:fdlint determinism -- min/max over the key set: the result is independent of iteration order
 		for r := range rounds {
 			if lo < 0 || r < lo {
 				lo = r
@@ -291,6 +292,7 @@ func deciderMissedWrite(run *Run, match func(string) bool) bool {
 			}
 		}
 	}
+	//lint:fdlint determinism -- existential check over deciders: the boolean result is independent of iteration order
 	for p := range run.Report.Decided {
 		for i := 0; i < log.Steps(); i++ {
 			pid, accs := log.Step(i)

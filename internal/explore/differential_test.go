@@ -27,6 +27,9 @@ func violationKeys(r *Result) []string {
 // strictly fewer schedules than the enumerator in total — the point of
 // dependency-aware exploration.
 func TestDifferentialCleanSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second sweep skipped under -short (race lane); the full lane runs it")
+	}
 	var dporRuns, enumRuns, dporPruned int64
 	for _, cfg := range DefaultSweep() {
 		d := Explore(cfg)
@@ -75,6 +78,9 @@ func TestDifferentialCleanSuite(t *testing.T) {
 // are compared on the violated property set and the minimal-witness
 // property: both find agreement violations and both shrink the witness.
 func TestDifferentialMutantIdenticalViolations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second sweep skipped under -short (race lane); the full lane runs it")
+	}
 	sweep := func(engine Engine) *Result {
 		return Explore(Config{
 			System:        BrokenFig1System(2),

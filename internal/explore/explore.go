@@ -35,12 +35,14 @@ const (
 // String implements fmt.Stringer.
 func (e Engine) String() string {
 	switch e {
+	case EngineSource:
+		return "source"
 	case EngineDPOR:
 		return "classic"
 	case EngineEnum:
 		return "legacy"
 	default:
-		return "source"
+		return fmt.Sprintf("engine(%d)", uint8(e))
 	}
 }
 
@@ -333,6 +335,7 @@ func Explore(cfg Config) *Result {
 		}
 	}
 
+	//lint:fdlint determinism -- wall-clock is Result.ElapsedMS metadata only; it never feeds schedules, fingerprints or artifacts
 	start := time.Now()
 	scs := make([]lab.Scenario, len(jobs))
 	for i, jb := range jobs {
@@ -408,13 +411,16 @@ func (e *explorer) exploreConfig(pattern sim.Pattern, oracle OracleChoice) (viol
 			e.truncated.Store(true)
 		}
 		return d.violations, d.runs
+	case EngineEnum:
+		c := &configRun{e: e, pattern: pattern, oracle: oracle}
+		// Root: the pure fair schedule, no adversarial blocks.
+		root, _ := c.run(nil)
+		c.violations += e.check(root, pattern, oracle)
+		c.dfs(nil)
+		return c.violations, c.runs
+	default:
+		panic(fmt.Sprintf("explore: unknown engine %v", e.cfg.Engine))
 	}
-	c := &configRun{e: e, pattern: pattern, oracle: oracle}
-	// Root: the pure fair schedule, no adversarial blocks.
-	root, _ := c.run(nil)
-	c.violations += e.check(root, pattern, oracle)
-	c.dfs(nil)
-	return c.violations, c.runs
 }
 
 // configRun is the per-configuration DFS state.

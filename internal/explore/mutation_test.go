@@ -35,6 +35,9 @@ func brokenSweep(n int, engine Engine) *Result {
 // same mutant sails through seeded-random testing of the kind every other
 // suite in this repository performs.
 func TestMutationBrokenFig1Caught(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second sweep skipped under -short (race lane); the full lane runs it")
+	}
 	for _, n := range []int{2, 3} {
 		res := brokenSweep(n, EngineDPOR)
 		if len(res.Violations) == 0 {

@@ -66,8 +66,12 @@ func (Validity) Check(r *Run) error {
 	for _, v := range r.Proposals {
 		proposed[v] = true
 	}
-	for p, v := range r.Report.Decided {
-		if !proposed[v] {
+	// Iterate by PID, not over the Decided map: the returned message names
+	// the first offender, and it reaches violation artifacts, so the choice
+	// must not depend on map order.
+	for pid := range r.Report.StepsBy {
+		p := sim.PID(pid)
+		if v, ok := r.Report.Decided[p]; ok && !proposed[v] {
 			return fmt.Errorf("%v decided unproposed value %d", p, v)
 		}
 	}

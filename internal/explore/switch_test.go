@@ -51,6 +51,9 @@ func switchSweep(engine Engine, budget int) *Result {
 // under both engines, proving the violation found at budget 1 is reachable
 // only through an unstable prefix.
 func TestSwitchMutantCleanAtBudgetZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second sweep skipped under -short (race lane); the full lane runs it")
+	}
 	for _, engine := range []Engine{EngineDPOR, EngineEnum} {
 		res := switchSweep(engine, 0)
 		if len(res.Violations) != 0 {
@@ -67,6 +70,9 @@ func TestSwitchMutantCleanAtBudgetZero(t *testing.T) {
 // suffices — the sweep finds an agreement violation, shrinks the schedule,
 // and records a flip schedule in the witness artifact.
 func TestSwitchMutantCaughtAtBudgetOne(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second sweep skipped under -short (race lane); the full lane runs it")
+	}
 	res := switchSweep(EngineDPOR, 1)
 	if len(res.Violations) == 0 {
 		t.Fatalf("SwitchBudget=1 sweep missed the skip-on-change mutant (%d runs)", res.Runs)
@@ -102,6 +108,9 @@ func TestSwitchMutantCaughtAtBudgetOne(t *testing.T) {
 // TestSwitchMutantArtifactRoundTrip: the unstable-history counterexample
 // must replay deterministically from disk, flips included.
 func TestSwitchMutantArtifactRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second sweep skipped under -short (race lane); the full lane runs it")
+	}
 	res := switchSweep(EngineDPOR, 1)
 	if len(res.Violations) == 0 {
 		t.Fatal("no violation to round-trip")
@@ -136,6 +145,9 @@ func TestSwitchMutantArtifactRoundTrip(t *testing.T) {
 // payload (a schema-1 file with flips replays divergently on a pre-flip
 // reader), and an illegal stable set must be a clean error, not a panic.
 func TestArtifactRejectsMalformed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second sweep skipped under -short (race lane); the full lane runs it")
+	}
 	res := switchSweep(EngineDPOR, 1)
 	if len(res.Violations) == 0 {
 		t.Fatal("no violation to corrupt")
@@ -191,6 +203,9 @@ func TestArtifactRejectsMalformed(t *testing.T) {
 // also why the fdlab CLI rejects -switch-budget > 0 under -engine legacy: at
 // the default 3-block bound the enumerator's pass would be vacuous.
 func TestDifferentialSwitchMutant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second sweep skipped under -short (race lane); the full lane runs it")
+	}
 	full := func(engine Engine) *Result {
 		cfg := Config{
 			System:       SkipOnChangeFig1System(2),

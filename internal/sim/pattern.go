@@ -29,6 +29,7 @@ func FailFree(n int) Pattern {
 // one process must remain correct (the paper's default environment).
 func CrashPattern(n int, crashes map[PID]Time) Pattern {
 	p := FailFree(n)
+	//lint:fdlint determinism -- map-to-array reconstruction: the resulting pattern is independent of iteration order
 	for pid, t := range crashes {
 		if int(pid) < 0 || int(pid) >= n {
 			panic(fmt.Sprintf("sim: crash PID %v out of range for n=%d", pid, n))

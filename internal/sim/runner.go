@@ -91,6 +91,7 @@ func (r *Report) DecidedValues() []Value {
 // done by insertion into the slice itself, with no map.
 func (r *Report) DecidedValuesAppend(dst []Value) []Value {
 	base := len(dst)
+	//lint:fdlint determinism -- sorted-insertion dedup: the resulting slice is independent of iteration order
 	for _, v := range r.Decided {
 		lo, hi := base, len(dst)
 		for lo < hi {
@@ -160,6 +161,7 @@ func Run(cfg Config, bodies []Body) (*Report, error) {
 		}
 		procs[i] = p
 		states[i] = stateAwaited
+		//lint:fdlint determinism -- goroutine-engine mechanism: bodies run on goroutines but every step is serialized by the grant channel, so the schedule alone decides interleaving
 		go runBody(p, bodies[i])
 	}
 

@@ -63,6 +63,7 @@ func RunTasks(cfg Config, bodies []TaskSet) (*Report, error) {
 			taskIdx[i][t] = idx
 			p.slot = idx
 			slots = append(slots, &slot{pid: PID(i), proc: p, state: stateAwaited})
+			//lint:fdlint determinism -- goroutine-engine mechanism: task bodies run on goroutines but every step is serialized by the grant channel, so the schedule alone decides interleaving
 			go runBody(p, bodies[i][t])
 		}
 	}
