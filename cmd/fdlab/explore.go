@@ -6,10 +6,8 @@ import (
 	"io"
 	"log"
 	"os"
-	"path/filepath"
-	"strings"
+	"sync"
 
-	"weakestfd/internal/cli"
 	"weakestfd/internal/explore"
 	"weakestfd/internal/sim"
 )
@@ -22,151 +20,33 @@ import (
 // failed).
 func runExplore(args []string) {
 	fs := flag.NewFlagSet("explore", flag.ExitOnError)
+	sf := addSweepFlags(fs)
 	var (
-		system       = fs.String("system", "fig1", "system under exploration: "+strings.Join(explore.SystemNames(), "|"))
-		n            = fs.Int("n", 3, "number of processes (2..5)")
-		f            = fs.Int("f", 0, "resilience for fig2 (default n-1)")
-		engineName   = fs.String("engine", "source", "exploration engine: source (source-DPOR with wakeup sequences and state-hash joins), classic (Flanagan-Godefroid DPOR), legacy (block enumerator)")
-		noHash       = fs.Bool("no-hash", false, "disable the source engine's state-hash join layer (pure source-DPOR)")
-		maxStates    = fs.Int("max-states", 0, "cap the source engine's join cache entries per configuration (0 = default 16384)")
-		maxDepth     = fs.Int("max-depth", 0, "DPOR branch-depth horizon (0 = full depth, i.e. the step budget; intractable for most systems beyond n=2)")
-		maxRuns      = fs.Int64("max-runs", 0, "cap runs per configuration, 0 = unlimited (DPOR engines; hitting it voids exhaustiveness and exits 3)")
-		blocks       = fs.Int("blocks", 3, "legacy engine: max adversarial blocks per schedule (context-switch bound)")
-		blockLen     = fs.Int("block", 24, "legacy engine: max steps per adversarial block")
-		budget       = fs.Int64("budget", 4096, "step budget per run")
-		crashTimes   = fs.String("crash-times", "0,3", "crash-time grid, comma-separated")
-		switchBudget = fs.Int("switch-budget", 0, "max pre-stabilization output switches per detector history (0 = stable-from-0 histories only)")
-		flipTimes    = fs.String("flip-times", "2,14", "flip-time grid for -switch-budget > 0, comma-separated")
-		sym          = fs.Bool("sym", false, "collapse crash sets up to process renaming (quick-scan heuristic, not a sound reduction)")
-		workers      = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		maxViol      = fs.Int("max-violations", 4, "stop after this many distinct violations")
-		outDir       = fs.String("out", ".", "directory for counterexample artifacts")
+		workers  = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		progress = fs.Bool("progress", false, "print one line per finished configuration")
+		outDir   = fs.String("out", ".", "directory for counterexample artifacts")
 	)
 	_ = fs.Parse(args)
 	validatePool(*workers, 1)
-	var engine explore.Engine
-	switch *engineName {
-	case "source":
-		engine = explore.EngineSource
-	case "classic", "dpor":
-		engine = explore.EngineDPOR
-	case "legacy", "enum":
-		engine = explore.EngineEnum
-	default:
-		log.Fatalf("-engine %q unknown: want source, classic or legacy", *engineName)
-	}
-	if *n < 2 || *n > 5 {
-		log.Fatalf("-n %d out of the explorable range [2,5] (the schedule space explodes beyond n=5)", *n)
-	}
-	if *blocks <= 0 || *blockLen <= 0 || *budget <= 0 {
-		log.Fatalf("-blocks, -block and -budget must be positive (got %d, %d, %d)", *blocks, *blockLen, *budget)
-	}
-	if *maxDepth < 0 || *maxRuns < 0 || *maxStates < 0 {
-		log.Fatalf("-max-depth, -max-runs and -max-states must be non-negative (got %d, %d, %d)", *maxDepth, *maxRuns, *maxStates)
-	}
-	if *switchBudget < 0 {
-		log.Fatalf("-switch-budget must be >= 0, got %d", *switchBudget)
-	}
-	if *switchBudget > 0 && engine == explore.EngineEnum {
-		// The block enumerator honors flip schedules soundly, but a
-		// flip-gated witness needs at least four preemption blocks
-		// (interleaved converge, the flip observer's solo run, the laggard's
-		// decision) — beyond any affordable -blocks bound, so its unstable
-		// sweep would be vacuously clean. Refusing the combination keeps the
-		// coverage claim honest; the differential suite compares the engines
-		// at a raised block bound instead.
-		log.Fatal("-switch-budget > 0 requires a DPOR engine: the legacy enumerator's context-switch bound cannot reach flip-straddling witnesses (use -engine source or -engine classic)")
-	}
-	if *maxViol <= 0 {
-		log.Fatalf("-max-violations must be >= 1, got %d", *maxViol)
-	}
-	ff := *f
-	if ff == 0 {
-		ff = *n - 1
-	}
-	if ff < 1 || ff > *n-1 {
-		log.Fatalf("-f %d out of range [1,%d] for n=%d", *f, *n-1, *n)
-	}
-	sys, err := explore.NewSystem(*system, *n, ff)
+	spec := sf.spec()
+	cfg, err := spec.Config()
 	if err != nil {
 		log.Fatal(err)
 	}
-	grid, err := cli.ParseTimes("-crash-times", *crashTimes)
-	if err != nil {
-		log.Fatal(err)
-	}
-	times := make([]sim.Time, len(grid))
-	for i, t := range grid {
-		times[i] = sim.Time(t)
-	}
-	fgrid, err := cli.ParseTimes("-flip-times", *flipTimes)
-	if err != nil {
-		log.Fatal(err)
-	}
-	flips := make([]sim.Time, len(fgrid))
-	for i, t := range fgrid {
-		if t < 2 {
-			log.Fatalf("-flip-times entries must be >= 2 (a phase ending at time %d covers no step: the first step runs at t=1, and a phase's output applies to t < its end time), got %d", t, t)
+	cfg.Workers = *workers
+	if *progress {
+		// Configurations finish concurrently on the lab pool and OnConfig
+		// gives no mutual-exclusion guarantee, so the printer serializes
+		// itself — interleaved progress lines are garbage in a terminal and
+		// worse in a CI log.
+		var mu sync.Mutex
+		cfg.OnConfig = func(name string, runs int64) {
+			mu.Lock()
+			defer mu.Unlock()
+			fmt.Fprintf(os.Stderr, "done %s (%d runs)\n", name, runs)
 		}
-		flips[i] = sim.Time(t)
 	}
-	res := explore.Explore(explore.Config{
-		System:        sys,
-		Engine:        engine,
-		NoHash:        *noHash,
-		MaxStates:     *maxStates,
-		MaxBlocks:     *blocks,
-		MaxBlock:      *blockLen,
-		MaxDepth:      *maxDepth,
-		MaxRuns:       *maxRuns,
-		Budget:        *budget,
-		MaxFaults:     ff, // restricts the explored environment to E_f
-		CrashTimes:    times,
-		SwitchBudget:  *switchBudget,
-		FlipTimes:     flips,
-		Symmetry:      *sym,
-		Workers:       *workers,
-		MaxViolations: *maxViol,
-	})
-	fmt.Printf("explored %s (n=%d, f=%d, engine=%s, switch-budget=%d): %d configurations, %d schedules executed, %d pruned as redundant",
-		res.System, *n, ff, res.Engine, *switchBudget, res.Configs, res.Runs, res.Pruned)
-	if res.Joined > 0 {
-		fmt.Printf(", %d joined at the horizon", res.Joined)
-	}
-	fmt.Printf(", longest run %d steps", res.MaxSteps)
-	if res.SettledRuns > 0 {
-		fmt.Printf(", %d settled", res.SettledRuns)
-	}
-	fmt.Printf(", %dms\n", res.ElapsedMS)
-	if res.Configs == 0 || res.Runs == 0 {
-		log.Fatal("empty sweep: no configurations were explored (check -n/-f/-crash-times)")
-	}
-	// Bound-hit reporting: the three bounds cut coverage in different ways
-	// and call for different remediations, so each one names itself.
-	if res.DepthLimited {
-		fmt.Printf("note: runs went past the -max-depth %d branch horizon: exhaustive up to commutativity over every %d-step prefix, fair-tail beyond (raise -max-depth to push the claim deeper)\n",
-			*maxDepth, *maxDepth)
-	}
-	if res.StateCapped {
-		fmt.Println("note: the state-hash join cache hit -max-states and stopped admitting new states: coverage is unaffected, but tail sharing degraded (raise -max-states or add memory to speed the sweep up)")
-	}
-	if len(res.Violations) == 0 {
-		if res.Truncated {
-			fmt.Println("no property violations, but the sweep was TRUNCATED by -max-runs: configurations stopped mid-search, coverage is incomplete (raise -max-runs to restore the exhaustiveness claim)")
-			os.Exit(3)
-		}
-		fmt.Println("no property violations")
-		return
-	}
-	for i, v := range res.Violations {
-		fmt.Printf("VIOLATION: %v\n", v)
-		path := filepath.Join(*outDir, fmt.Sprintf("counterexample-%s-%d.json", res.System, i+1))
-		if err := v.Artifact.WriteFile(path); err != nil {
-			log.Fatalf("writing %s: %v", path, err)
-		}
-		fmt.Printf("  replay with: fdlab replay -in %s\n", path)
-	}
-	os.Exit(1)
+	exitCode(reportSweep(explore.Explore(cfg), spec, *outDir))
 }
 
 // nextFlipOutput names what the history switches to at the given boundary:

@@ -5,6 +5,9 @@
 //	fdlab matrix    — run scenario families through the internal/lab engine
 //	fdlab explore   — bounded-exhaustive schedule-space sweep with property
 //	                  checking and counterexample shrinking
+//	fdlab fleet     — the same sweep sharded across worker processes, with a
+//	                  resumable checkpoint (fleet-worker is its hidden
+//	                  subprocess entry point)
 //	fdlab replay    — re-execute an emitted counterexample step by step
 //
 // Examples:
@@ -14,6 +17,7 @@
 //	fdlab falsify -n 5 -f 4 -candidate staleness -switches 30
 //	fdlab matrix -family waves -seeds 5 -workers 8 -json waves.json
 //	fdlab explore -system fig1 -n 3 -blocks 3
+//	fdlab fleet -system fig1 -n 4 -max-depth 11 -procs 4 -checkpoint fleet.json
 //	fdlab replay -in counterexample-fig1-1.json -trace
 package main
 
@@ -45,6 +49,11 @@ func main() {
 		runMatrix(os.Args[2:])
 	case "explore":
 		runExplore(os.Args[2:])
+	case "fleet":
+		runFleet(os.Args[2:])
+	case "fleet-worker":
+		// Hidden: the subprocess entry `fdlab fleet` spawns for each worker.
+		runFleetWorker()
 	case "replay":
 		runReplay(os.Args[2:])
 	default:
@@ -53,7 +62,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: fdlab <extract|falsify|matrix|explore|replay> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: fdlab <extract|falsify|matrix|explore|fleet|replay> [flags]")
 	os.Exit(2)
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"weakestfd"
 	"weakestfd/internal/explore"
+	"weakestfd/internal/fleet"
 	"weakestfd/internal/lab"
 	"weakestfd/internal/lab/scenarios"
 	"weakestfd/internal/sim"
@@ -46,6 +47,14 @@ type BenchReport struct {
 	// deterministic, so the ratio is hardware-independent and the gate
 	// enforces a floor on it.
 	ExploreReduction float64 `json:"explore_reduction"`
+	// FleetVsSingleProcess is the ns/op ratio of the single-process source
+	// sweep over the same sweep run through `fdlab fleet`'s coordinator with
+	// two worker subprocesses: > 1 means the fleet outran one process. On a
+	// single-core runner expect slightly below 1 (subprocess spawn and frame
+	// codec overhead with no cores to win back); the gate checks the fleet
+	// entry's run count exactly — sharding must be result-neutral — and its
+	// wall clock within the usual tolerance, not this ratio.
+	FleetVsSingleProcess float64 `json:"fleet_vs_single_process"`
 	// FingerprintMachine/FingerprintGoroutine are the lab fingerprints of the
 	// quick matrix on each engine; they must be equal (bit-identical results).
 	FingerprintMachine   string `json:"fingerprint_machine"`
@@ -198,7 +207,7 @@ func runBenchJSON(path string, seeds int) error {
 	// the engine's executed-schedule count on the identical configuration
 	// grid — deterministic, so the gate compares it exactly — and the
 	// classic/source ratio is the reduction headline.
-	var classicRuns, sourceRuns float64
+	var classicRuns, sourceRuns, sourceNs float64
 	for _, eb := range exploreBenchmarks() {
 		eb := eb
 		runs, violations := eb.run()
@@ -220,10 +229,29 @@ func runBenchJSON(path string, seeds int) error {
 			classicRuns = float64(runs)
 		case "fig1-n3/source":
 			sourceRuns = float64(runs)
+			sourceNs = float64(res.T.Nanoseconds()) / float64(res.N)
 		}
 	}
 	if sourceRuns > 0 {
 		report.ExploreReduction = classicRuns / sourceRuns
+	}
+
+	// Fleet throughput: the identical pinned source sweep sharded across two
+	// worker processes (this binary re-exec'd in its hidden -fleet-worker
+	// mode). The run count must equal the single-process sweep's — sharding
+	// the configuration space is result-neutral — so the gate compares
+	// steps/op exactly across the two entries.
+	fleetRes, fleetRuns, err := benchFleet()
+	if err != nil {
+		return err
+	}
+	if float64(fleetRuns) != sourceRuns {
+		return fmt.Errorf("explore/fig1-n3/fleet-2proc executed %d runs, want the single-process count %v", fleetRuns, sourceRuns)
+	}
+	report.Benchmarks = append(report.Benchmarks,
+		newBenchResult("explore/fig1-n3/fleet-2proc", fleetRes, float64(fleetRuns)))
+	if fleetNs := float64(fleetRes.T.Nanoseconds()) / float64(fleetRes.N); fleetNs > 0 {
+		report.FleetVsSingleProcess = sourceNs / fleetNs
 	}
 
 	f, err := os.Create(path)
@@ -272,6 +300,55 @@ func exploreBenchmarks() []exploreBench {
 		{"fig1-n3/classic", sweep(explore.EngineDPOR)},
 		{"fig1-n3/source", sweep(explore.EngineSource)},
 	}
+}
+
+// benchFleet measures the pinned fig1 n=3 source sweep through the fleet
+// coordinator at two worker processes, returning the best-of-two result and
+// the (deterministic) executed-run count.
+func benchFleet() (testing.BenchmarkResult, int64, error) {
+	self, err := os.Executable()
+	if err != nil {
+		return testing.BenchmarkResult{}, 0, fmt.Errorf("locating own binary for the fleet benchmark: %w", err)
+	}
+	// The Spec mirror of exploreBenchmarks' pinned sweep. MaxViolations is
+	// effectively unbounded so the per-worker violation budget cannot couple
+	// shards (it never binds here anyway: the real protocol is clean).
+	spec := fleet.Spec{
+		System: "fig1", N: 3, F: 2,
+		MaxDepth: 12, Budget: 2048, CrashTimes: []int64{0},
+		MaxViolations: 1 << 20, Workers: 1,
+	}
+	run := func() (int64, error) {
+		sum, err := fleet.Run(fleet.Options{
+			Spec:      spec,
+			Procs:     2,
+			WorkerCmd: []string{self, "-fleet-worker"},
+		})
+		if err != nil {
+			return 0, err
+		}
+		if n := len(sum.Result.Violations); n != 0 {
+			return 0, fmt.Errorf("%d violations on the real protocol", n)
+		}
+		return sum.Result.Runs, nil
+	}
+	runs, err := run()
+	if err != nil {
+		return testing.BenchmarkResult{}, 0, fmt.Errorf("explore/fig1-n3/fleet-2proc: %w", err)
+	}
+	res := benchBest(2, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r, err := run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if r != runs {
+				b.Fatalf("run count drifted: %v -> %v", runs, r)
+			}
+		}
+	})
+	return res, runs, nil
 }
 
 // familyBench is one per-family benchmark: a fixed configuration of the

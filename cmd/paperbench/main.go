@@ -32,6 +32,7 @@ import (
 
 	"weakestfd"
 	"weakestfd/internal/cli"
+	"weakestfd/internal/fleet"
 	"weakestfd/internal/lab"
 	"weakestfd/internal/lab/scenarios"
 )
@@ -61,6 +62,15 @@ func experiments() []experiment {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("paperbench: ")
+	// Hidden re-exec mode: the fleet benchmark spawns this binary as its
+	// worker processes. Intercepted before flag parsing so it never appears
+	// in -help.
+	if len(os.Args) > 1 && os.Args[1] == "-fleet-worker" {
+		if err := fleet.WorkerMain(os.Stdin, os.Stdout); err != nil {
+			log.Fatalf("fleet-worker: %v", err)
+		}
+		return
+	}
 	var (
 		runFilter    = flag.String("run", "", "run one legacy experiment (E1..E11) or one scenario family")
 		seeds        = flag.Int("seeds", 3, "seeds per configuration")

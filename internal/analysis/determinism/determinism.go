@@ -23,11 +23,15 @@
 //
 // Scope: every machine-world function (simtypes.Scope) in any package, plus
 // every function in the packages listed by -packages (default
-// internal/explore and internal/sim — the hot paths). The legacy goroutine
-// engine files in internal/sim carry file-wide //lint:fdlint determinism
-// suppressions: their goroutines and channel handshakes are the engine's
-// mechanism, and replay determinism there is enforced dynamically by the
-// step gate.
+// internal/explore, internal/sim and internal/fleet — the hot paths and the
+// multi-process coordinator whose merged results must be schedule-timing
+// independent). The legacy goroutine engine files in internal/sim carry
+// file-wide //lint:fdlint determinism suppressions: their goroutines and
+// channel handshakes are the engine's mechanism, and replay determinism
+// there is enforced dynamically by the step gate. internal/fleet's audited
+// exceptions are line-level: the worker/reader goroutines that are the
+// process fan-out itself, and the coordinator's wall-clock summary stamp —
+// checkpoint writing and result merging stay in scope unconditionally.
 package determinism
 
 import (
@@ -49,7 +53,7 @@ var Analyzer = &analysis.Analyzer{
 
 // packagesFlag lists the package-path suffixes whose every function is in
 // scope (machine-world functions are in scope everywhere regardless).
-var packagesFlag = "internal/explore,internal/sim"
+var packagesFlag = "internal/explore,internal/sim,internal/fleet"
 
 func init() {
 	Analyzer.Flags.StringVar(&packagesFlag, "packages",

@@ -2,6 +2,7 @@ package explore
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -127,7 +128,12 @@ type Config struct {
 	// per violation. Default 2000.
 	ShrinkBudget int
 	// OnConfig, when non-nil, receives a progress line per finished
-	// (pattern × oracle) configuration.
+	// (pattern × oracle) configuration. Configurations explore concurrently
+	// on the lab worker pool, so OnConfig is invoked from multiple goroutines
+	// at once with no ordering or mutual-exclusion guarantee: the callback
+	// must be safe for concurrent use and must serialize any output it
+	// produces itself (see `fdlab explore -progress` for the canonical
+	// mutex-guarded printer).
 	OnConfig func(name string, runs int64)
 }
 
@@ -173,33 +179,35 @@ func (c Config) withDefaults() Config {
 }
 
 // Violation is one property failure, with its shrunk replayable artifact.
+// The JSON encoding is the fleet wire and checkpoint representation, so
+// field tags are part of the checkpoint schema.
 type Violation struct {
 	// Property is the violated property's name.
-	Property string
+	Property string `json:"property"`
 	// Message describes the failure (from Property.Check).
-	Message string
+	Message string `json:"message"`
 	// Pattern and Oracle identify the configuration the violation was
 	// discovered under.
-	Pattern string
-	Oracle  string
+	Pattern string `json:"pattern"`
+	Oracle  string `json:"oracle"`
 	// WitnessPattern and WitnessOracle identify the *shrunk* witness
 	// configuration: the shrinker also minimizes the configuration (drops
 	// crashes from the pattern, shrinks the oracle's stable set), so these
 	// may be strictly smaller than the discovery configuration. The
 	// Artifact records the witness configuration.
-	WitnessPattern string
-	WitnessOracle  string
+	WitnessPattern string `json:"witness_pattern"`
+	WitnessOracle  string `json:"witness_oracle"`
 	// Steps is the length of the originally found violating run;
 	// ShrunkSteps the length of the shrunk schedule prefix.
-	Steps       int64
-	ShrunkSteps int
+	Steps       int64 `json:"steps"`
+	ShrunkSteps int   `json:"shrunk_steps"`
 	// FailurePattern is the named failure pattern the classifier assigned to
 	// the shrunk witness, and Narrative its human-readable story (see
 	// classify.go). Both are recorded in the Artifact (schema 3).
-	FailurePattern string
-	Narrative      string
+	FailurePattern string `json:"failure_pattern"`
+	Narrative      string `json:"narrative"`
 	// Artifact is the replayable counterexample.
-	Artifact *Artifact
+	Artifact *Artifact `json:"artifact,omitempty"`
 }
 
 func (v *Violation) String() string {
@@ -211,45 +219,49 @@ func (v *Violation) String() string {
 		v.Property, where, v.Steps, v.ShrunkSteps, v.Message)
 }
 
-// Result summarizes one exploration.
+// Result summarizes one exploration. The JSON encoding is the fleet wire
+// and checkpoint representation, so field tags are part of the checkpoint
+// schema.
 type Result struct {
 	// System is the explored system's name.
-	System string
+	System string `json:"system"`
 	// Engine names the exploration algorithm that produced the result.
-	Engine string
+	Engine string `json:"engine"`
 	// Configs is the number of (pattern × oracle) configurations.
-	Configs int
+	Configs int `json:"configs"`
 	// Runs is the number of schedules executed (shrinking replays excluded).
-	Runs int64
+	Runs int64 `json:"runs"`
 	// Pruned counts the schedules a reducing engine proved redundant without
 	// executing them (sleep-set and source-set skips); always 0 for
 	// EngineEnum, whose stutter pruning cuts length scans rather than whole
 	// schedules.
-	Pruned int64
+	Pruned int64 `json:"pruned"`
 	// Joined counts the runs the source engine stopped at the branch horizon
 	// because a state-hash join let them reuse an already-executed tail.
 	// Joined runs are included in Runs.
-	Joined int64
+	Joined int64 `json:"joined"`
 	// Truncated reports that some configuration hit Config.MaxRuns, voiding
 	// the sweep's exhaustiveness claim.
-	Truncated bool
+	Truncated bool `json:"truncated,omitempty"`
 	// StateCapped reports that some configuration's join cache hit
 	// Config.MaxStates and stopped admitting new states; exploration stays
 	// exhaustive, only tail sharing degrades.
-	StateCapped bool
+	StateCapped bool `json:"state_capped,omitempty"`
 	// DepthLimited reports that runs went past Config.MaxDepth, i.e. the
 	// exhaustiveness claim is bounded-depth: complete up to commutativity
 	// over every prefix of MaxDepth steps, with the fair tail beyond.
-	DepthLimited bool
+	DepthLimited bool `json:"depth_limited,omitempty"`
 	// MaxSteps is the longest run observed.
-	MaxSteps int64
+	MaxSteps int64 `json:"max_steps"`
 	// SettledRuns counts extraction runs whose outputs settled (0 for
 	// terminating systems, where every completed run is conclusive).
-	SettledRuns int64
-	// Violations are the distinct property failures, shrunk and replayable.
-	Violations []*Violation
-	// ElapsedMS is the exploration wall-clock time.
-	ElapsedMS int64
+	SettledRuns int64 `json:"settled_runs"`
+	// Violations are the distinct property failures, shrunk and replayable,
+	// sorted by (pattern, oracle, property).
+	Violations []*Violation `json:"violations,omitempty"`
+	// ElapsedMS is the exploration wall-clock time; a merged Result sums the
+	// shards' compute time instead.
+	ElapsedMS int64 `json:"elapsed_ms"`
 }
 
 // block is one adversarial schedule segment: up to n consecutive steps of
@@ -298,6 +310,40 @@ func (s *blockSchedule) Next(t sim.Time, enabled sim.Set) sim.PID {
 	return p
 }
 
+// Job is one (pattern × oracle) cell of a sweep's configuration space — the
+// shard grain of distributed exploration. EnumerateJobs is deterministic, so
+// any process holding the same Config rebuilds the identical job list and a
+// job index range fully identifies a unit of work (internal/fleet ships
+// index ranges, never jobs, over its wire protocol).
+type Job struct {
+	Pattern sim.Pattern
+	Oracle  OracleChoice
+}
+
+// Label renders the job the way sweeps name lab scenarios and violations
+// key their dedup: "<pattern>/<oracle>".
+func (j Job) Label() string {
+	return patternLabel(j.Pattern) + "/" + j.Oracle.Name
+}
+
+// EnumerateJobs returns cfg's (pattern × oracle) configuration space in the
+// deterministic order Explore visits it.
+func EnumerateJobs(cfg Config) []Job {
+	return enumerateJobs(cfg.withDefaults())
+}
+
+func enumerateJobs(cfg Config) []Job {
+	sys := cfg.System
+	plan := SwitchPlan{Budget: cfg.SwitchBudget, Times: cfg.FlipTimes}
+	var jobs []Job
+	for _, p := range patternsFor(sys.N(), cfg.MaxFaults, cfg.CrashTimes, cfg.Symmetry) {
+		for _, o := range sys.Oracles(p, plan) {
+			jobs = append(jobs, Job{Pattern: p, Oracle: o})
+		}
+	}
+	return jobs
+}
+
 // explorer carries the shared state of one Explore invocation.
 type explorer struct {
 	cfg         Config
@@ -320,34 +366,37 @@ type explorer struct {
 // becomes one lab scenario whose run is the full schedule DFS.
 func Explore(cfg Config) *Result {
 	cfg = cfg.withDefaults()
+	return exploreJobs(cfg, enumerateJobs(cfg))
+}
+
+// ExploreJobs explores only the given subset of cfg's configuration space —
+// the shard entry point for distributed sweeps (internal/fleet). The jobs
+// must come from EnumerateJobs of a Config equal to cfg up to Workers;
+// exploring a shard is result-identical to the same jobs' share of a full
+// Explore except for the MaxViolations budget, which a single process
+// spends globally but shards spend independently — callers wanting exact
+// equality set MaxViolations above any plausible count.
+func ExploreJobs(cfg Config, jobs []Job) *Result {
+	return exploreJobs(cfg.withDefaults(), jobs)
+}
+
+func exploreJobs(cfg Config, jobs []Job) *Result {
 	e := &explorer{cfg: cfg, seen: make(map[string]bool)}
 	sys := cfg.System
-
-	type job struct {
-		pattern sim.Pattern
-		oracle  OracleChoice
-	}
-	plan := SwitchPlan{Budget: cfg.SwitchBudget, Times: cfg.FlipTimes}
-	var jobs []job
-	for _, p := range patternsFor(sys.N(), cfg.MaxFaults, cfg.CrashTimes, cfg.Symmetry) {
-		for _, o := range sys.Oracles(p, plan) {
-			jobs = append(jobs, job{pattern: p, oracle: o})
-		}
-	}
 
 	//lint:fdlint determinism -- wall-clock is Result.ElapsedMS metadata only; it never feeds schedules, fingerprints or artifacts
 	start := time.Now()
 	scs := make([]lab.Scenario, len(jobs))
 	for i, jb := range jobs {
 		jb := jb
-		name := fmt.Sprintf("%s/%s/%s", sys.Name(), patternLabel(jb.pattern), jb.oracle.Name)
+		name := sys.Name() + "/" + jb.Label()
 		scs[i] = lab.Scenario{
 			Family: sys.Name(),
 			Name:   name,
-			Params: map[string]string{"pattern": patternLabel(jb.pattern), "oracle": jb.oracle.Name},
+			Params: map[string]string{"pattern": patternLabel(jb.Pattern), "oracle": jb.Oracle.Name},
 			Seeds:  1,
 			Run: func(int64) (lab.Metrics, error) {
-				violations, runs := e.exploreConfig(jb.pattern, jb.oracle)
+				violations, runs := e.exploreConfig(jb.Pattern, jb.Oracle)
 				if cfg.OnConfig != nil {
 					cfg.OnConfig(name, runs)
 				}
@@ -364,6 +413,8 @@ func Explore(cfg Config) *Result {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	maxSteps := e.maxSteps.Load()
+	violations := append([]*Violation(nil), e.found...)
+	sortViolations(violations)
 	return &Result{
 		System:       sys.Name(),
 		Engine:       engineLabel(cfg),
@@ -376,8 +427,80 @@ func Explore(cfg Config) *Result {
 		DepthLimited: cfg.MaxDepth < int(cfg.Budget) && maxSteps > int64(cfg.MaxDepth),
 		MaxSteps:     maxSteps,
 		SettledRuns:  e.settled.Load(),
-		Violations:   append([]*Violation(nil), e.found...),
+		Violations:   violations,
 		ElapsedMS:    time.Since(start).Milliseconds(),
+	}
+}
+
+// violationKey is the (configuration, property) identity violations are
+// deduplicated and ordered by — the same key explorer.check uses for its
+// seen map.
+func violationKey(v *Violation) string {
+	return v.Pattern + "|" + v.Oracle + "|" + v.Property
+}
+
+// sortViolations orders violations by (pattern, oracle, property) so
+// Result.Violations is bit-stable across worker counts and shard merges;
+// lab workers complete configurations in a nondeterministic order.
+func sortViolations(vs []*Violation) {
+	sort.Slice(vs, func(i, j int) bool {
+		return violationKey(vs[i]) < violationKey(vs[j])
+	})
+}
+
+// MergeResults folds per-shard Results of one sweep back into the Result
+// the single-process Explore would have produced (up to ElapsedMS, which
+// sums shard compute time rather than measuring wall clock): counters and
+// Configs summed, exhaustiveness flags OR-folded, MaxSteps maximized, and
+// violations deduplicated by (pattern, oracle, property) then sorted. All
+// inputs must come from the same System and engine configuration.
+func MergeResults(results []*Result) (*Result, error) {
+	if len(results) == 0 {
+		return nil, fmt.Errorf("explore: merge of zero results")
+	}
+	out := &Result{System: results[0].System, Engine: results[0].Engine}
+	seen := make(map[string]bool)
+	for _, r := range results {
+		if r.System != out.System || r.Engine != out.Engine {
+			return nil, fmt.Errorf("explore: merge mixes sweeps: %s/%s vs %s/%s",
+				out.System, out.Engine, r.System, r.Engine)
+		}
+		out.Configs += r.Configs
+		out.Runs += r.Runs
+		out.Pruned += r.Pruned
+		out.Joined += r.Joined
+		out.SettledRuns += r.SettledRuns
+		out.ElapsedMS += r.ElapsedMS
+		out.Truncated = out.Truncated || r.Truncated
+		out.StateCapped = out.StateCapped || r.StateCapped
+		out.DepthLimited = out.DepthLimited || r.DepthLimited
+		if r.MaxSteps > out.MaxSteps {
+			out.MaxSteps = r.MaxSteps
+		}
+		for _, v := range r.Violations {
+			if key := violationKey(v); !seen[key] {
+				seen[key] = true
+				out.Violations = append(out.Violations, v)
+			}
+		}
+	}
+	sortViolations(out.Violations)
+	return out, nil
+}
+
+// ParseEngine maps a CLI engine name to its Engine, accepting the names
+// Engine.String prints plus common aliases. The empty string selects the
+// default engine.
+func ParseEngine(name string) (Engine, error) {
+	switch name {
+	case "", "source":
+		return EngineSource, nil
+	case "classic", "dpor":
+		return EngineDPOR, nil
+	case "legacy", "enum":
+		return EngineEnum, nil
+	default:
+		return 0, fmt.Errorf("unknown engine %q (want source, classic or legacy)", name)
 	}
 }
 

@@ -1,0 +1,490 @@
+package fleet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+	"time"
+
+	"weakestfd/internal/explore"
+)
+
+// Options configures one coordinated sweep.
+type Options struct {
+	// Spec is the sweep to run. Spec.Workers is each worker process's
+	// executor-pool width; the CLI divides the machine's cores by Procs.
+	Spec Spec
+	// Procs is the number of worker processes (>= 1).
+	Procs int
+	// WorkerCmd is the argv launching one worker process speaking the
+	// fleet protocol on stdin/stdout — `fdlab fleet-worker` for the local
+	// fleet, or any exec template (ssh wrapper, container runner) for
+	// remote machines.
+	WorkerCmd []string
+	// CheckpointPath, when non-empty, is the frontier checkpoint rewritten
+	// after every shard completion. Resume loads it and re-plans only the
+	// uncovered job spans; without Resume an existing file is overwritten.
+	CheckpointPath string
+	Resume         bool
+	// OnProgress, when non-nil, receives one human-readable line per
+	// fleet event (job finished, shard done, steal). Called from the
+	// coordinator's event loop, never concurrently.
+	OnProgress func(line string)
+
+	// afterCheckpoint, when non-nil, runs after every completed shard (and
+	// its checkpoint write) with the completed-shard count. An error abandons
+	// the sweep immediately, workers killed — the test seam simulating a
+	// mid-sweep kill at an exact frontier.
+	afterCheckpoint func(completed int) error
+}
+
+// Summary is the outcome of one coordinated sweep.
+type Summary struct {
+	// Result is the merged sweep result — checkpoint-resumed shards and
+	// freshly executed shards folded by explore.MergeResults, so counters
+	// and violations match a single-process Explore of the same Spec
+	// whenever the MaxViolations budget does not bind. Result.ElapsedMS
+	// sums per-shard compute time; WallMS is this invocation's wall clock.
+	Result *explore.Result
+	// Jobs is the configuration-space size; ResumedJobs of those were
+	// loaded from the checkpoint, ExecutedJobs ran in this invocation.
+	Jobs         int
+	ResumedJobs  int
+	ExecutedJobs int
+	// Shards counts shards completed this invocation, Steals successful
+	// work-stealing splits, Workers the worker processes launched.
+	Shards  int
+	Steals  int
+	Workers int
+	WallMS  int64
+}
+
+// inflight is the coordinator's view of one assigned shard.
+type inflight struct {
+	id       int
+	lo, hi   int
+	done     int  // jobs reported finished (progress frames)
+	narrowed bool // steal sent, yield outstanding
+	noSteal  bool // a steal yielded nothing; don't retry
+}
+
+// remaining estimates the jobs the worker still holds.
+func (s *inflight) remaining() int { return s.hi - s.lo - s.done }
+
+// workerProc is one live worker process. dead is maintained by the event
+// loop (never read off cmd.ProcessState, which the reader pump's Wait
+// writes concurrently).
+type workerProc struct {
+	id    int
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+	ready bool
+	dead  bool
+	shard *inflight
+}
+
+// event is one frame (or death) from a worker, funneled into the
+// coordinator's single event loop.
+type event struct {
+	worker *workerProc
+	msg    *message
+	err    error
+}
+
+// coordinator is the state of one Run.
+type coordinator struct {
+	opts    Options
+	jobs    int
+	pending []span
+	records []ShardRecord
+	workers []*workerProc
+	events  chan event
+
+	nextShard int
+	resumed   int
+	deaths    int
+	steals    int
+	launched  int
+}
+
+// Run executes the sweep described by opts across opts.Procs worker
+// processes and returns the merged summary. It is the engine behind
+// `fdlab fleet`.
+func Run(opts Options) (*Summary, error) {
+	if opts.Procs < 1 {
+		opts.Procs = 1
+	}
+	if len(opts.WorkerCmd) == 0 {
+		return nil, fmt.Errorf("fleet: no worker command")
+	}
+	cfg, err := opts.Spec.Config()
+	if err != nil {
+		return nil, err
+	}
+	jobs := len(explore.EnumerateJobs(cfg))
+	if jobs == 0 {
+		return nil, fmt.Errorf("fleet: empty sweep: %s n=%d enumerates no configurations", opts.Spec.System, opts.Spec.N)
+	}
+
+	//lint:fdlint determinism -- wall-clock is Summary.WallMS metadata only; scheduling decisions depend on completion events, whose effect on the merged Result is erased by MergeResults
+	start := time.Now()
+	c := &coordinator{opts: opts, jobs: jobs, events: make(chan event, opts.Procs*4)}
+	if opts.Resume {
+		cp, err := LoadCheckpoint(opts.CheckpointPath)
+		if err != nil {
+			return nil, err
+		}
+		if cp.SpecKey != opts.Spec.Key() {
+			return nil, fmt.Errorf("fleet: checkpoint %s records a different sweep (spec key mismatch); not resuming", opts.CheckpointPath)
+		}
+		if cp.Jobs != jobs {
+			return nil, fmt.Errorf("fleet: checkpoint %s records %d jobs, this build enumerates %d — job space drifted, refusing to resume", opts.CheckpointPath, cp.Jobs, jobs)
+		}
+		c.records = cp.Shards
+		c.resumed = cp.doneJobs()
+		for _, s := range cp.Shards {
+			if s.ID >= c.nextShard {
+				c.nextShard = s.ID + 1
+			}
+		}
+		c.progressf("resuming: %d/%d jobs already covered by %d checkpointed shards", c.resumed, jobs, len(cp.Shards))
+	}
+	c.pending = planShards(jobs, c.doneSpans(), shardTarget(jobs-c.resumed, opts.Procs))
+
+	summaryOf := func() (*Summary, error) {
+		merged, err := c.merge()
+		if err != nil {
+			return nil, err
+		}
+		return &Summary{
+			Result:       merged,
+			Jobs:         jobs,
+			ResumedJobs:  c.resumed,
+			ExecutedJobs: c.coveredJobs() - c.resumed,
+			Shards:       len(c.records),
+			Steals:       c.steals,
+			Workers:      c.launched,
+			WallMS:       time.Since(start).Milliseconds(),
+		}, nil
+	}
+	if len(c.pending) == 0 {
+		// The checkpoint already covers the whole space.
+		return summaryOf()
+	}
+
+	defer c.killAll()
+	procs := opts.Procs
+	if procs > len(c.pending) {
+		procs = len(c.pending)
+	}
+	for i := 0; i < procs; i++ {
+		if err := c.spawn(); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.loop(); err != nil {
+		return nil, err
+	}
+	c.shutdown()
+	return summaryOf()
+}
+
+func (c *coordinator) progressf(format string, args ...any) {
+	if c.opts.OnProgress != nil {
+		c.opts.OnProgress(fmt.Sprintf(format, args...))
+	}
+}
+
+func (c *coordinator) doneSpans() []span {
+	out := make([]span, len(c.records))
+	for i, s := range c.records {
+		out[i] = span{Lo: s.Lo, Hi: s.Hi}
+	}
+	return out
+}
+
+func (c *coordinator) coveredJobs() int {
+	n := 0
+	for _, s := range c.records {
+		n += s.Hi - s.Lo
+	}
+	return n
+}
+
+// spawn launches one worker process, ships it the spec and registers its
+// frame reader.
+func (c *coordinator) spawn() error {
+	argv := c.opts.WorkerCmd
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return fmt.Errorf("fleet: launching worker: %w", err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return fmt.Errorf("fleet: launching worker: %w", err)
+	}
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("fleet: launching worker %q: %w", argv[0], err)
+	}
+	c.launched++
+	w := &workerProc{id: c.launched, cmd: cmd, stdin: stdin}
+	c.workers = append(c.workers, w)
+	spec := c.opts.Spec
+	if err := writeFrame(stdin, &message{Type: "spec", Spec: &spec}); err != nil {
+		return fmt.Errorf("fleet: sending spec to worker %d: %w", w.id, err)
+	}
+	//lint:fdlint determinism -- process orchestration: the reader pump only forwards frames into the event loop; arrival order affects scheduling, not the merged Result
+	go func() {
+		r := bufio.NewReaderSize(stdout, 1<<16)
+		for {
+			m, err := readFrame(r)
+			if err != nil {
+				cmd.Wait()
+				c.events <- event{worker: w, err: err}
+				return
+			}
+			c.events <- event{worker: w, msg: m}
+		}
+	}()
+	return nil
+}
+
+// killAll hard-stops every worker; the deferred safety net for error paths
+// and the kill half of the afterCheckpoint seam. Killing an already-exited
+// process is a harmless error.
+func (c *coordinator) killAll() {
+	for _, w := range c.workers {
+		w.stdin.Close()
+		if w.cmd.Process != nil {
+			w.cmd.Process.Kill()
+		}
+	}
+}
+
+// shutdown drains workers gracefully once every job span is covered.
+func (c *coordinator) shutdown() {
+	for _, w := range c.workers {
+		if !w.dead {
+			writeFrame(w.stdin, &message{Type: "exit"})
+			w.stdin.Close()
+		}
+	}
+}
+
+// loop is the single event loop: it assigns pending shards to idle
+// workers, steals from stragglers when the queue drains, folds done
+// frames into checkpointed records, and requeues the shards of dead
+// workers. It returns once every job index is covered by a record.
+func (c *coordinator) loop() error {
+	for {
+		c.assign()
+		if c.coveredJobs() == c.jobs {
+			return nil
+		}
+		ev, ok := <-c.events
+		if !ok {
+			return fmt.Errorf("fleet: event stream closed mid-sweep")
+		}
+		if ev.err != nil {
+			if err := c.onDeath(ev.worker, ev.err); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := c.onFrame(ev.worker, ev.msg); err != nil {
+			return err
+		}
+	}
+}
+
+// assign hands pending shards to idle ready workers; with the queue empty
+// it steals from the straggler with the most unfinished jobs.
+func (c *coordinator) assign() {
+	for _, w := range c.workers {
+		if !w.ready || w.shard != nil || w.dead {
+			continue
+		}
+		if len(c.pending) > 0 {
+			sp := c.pending[0]
+			c.pending = c.pending[1:]
+			sh := &inflight{id: c.nextShard, lo: sp.Lo, hi: sp.Hi}
+			c.nextShard++
+			if err := writeFrame(w.stdin, &message{Type: "shard", Shard: sh.id, Lo: sh.lo, Hi: sh.hi}); err != nil {
+				// The reader pump will surface the death; leave the shard
+				// unassigned so requeue logic stays in one place.
+				c.pending = append([]span{{Lo: sh.lo, Hi: sh.hi}}, c.pending...)
+				continue
+			}
+			w.shard = sh
+			continue
+		}
+		c.steal()
+	}
+}
+
+// steal narrows the in-flight shard with the most unfinished jobs so its
+// tail can be re-assigned to an idle worker. At most one outstanding
+// narrow per shard; shards that already yielded nothing are left alone.
+func (c *coordinator) steal() {
+	var victim *workerProc
+	for _, w := range c.workers {
+		sh := w.shard
+		if sh == nil || sh.narrowed || sh.noSteal || sh.remaining() < 2 {
+			continue
+		}
+		if victim == nil || sh.remaining() > victim.shard.remaining() ||
+			(sh.remaining() == victim.shard.remaining() && sh.id < victim.shard.id) {
+			victim = w
+		}
+	}
+	if victim == nil {
+		return
+	}
+	sh := victim.shard
+	// Aim to take the unfinished half; the worker clamps to its claim
+	// frontier, so the yield may return less (or nothing).
+	newHi := sh.hi - sh.remaining()/2
+	if min := sh.lo + sh.done + 1; newHi < min {
+		newHi = min
+	}
+	sh.narrowed = true
+	if err := writeFrame(victim.stdin, &message{Type: "narrow", Shard: sh.id, Hi: newHi}); err != nil {
+		sh.narrowed = false
+	}
+}
+
+// onFrame folds one worker frame into coordinator state.
+func (c *coordinator) onFrame(w *workerProc, m *message) error {
+	switch m.Type {
+	case "ready":
+		if m.Jobs != c.jobs {
+			return fmt.Errorf("fleet: worker %d enumerates %d jobs, coordinator %d — build or spec drift between processes", w.id, m.Jobs, c.jobs)
+		}
+		w.ready = true
+	case "progress":
+		if w.shard != nil && w.shard.id == m.Shard {
+			w.shard.done++
+		}
+		c.progressf("worker %d: %s (%d runs)", w.id, m.Name, m.Runs)
+	case "yield":
+		sh := w.shard
+		if sh == nil || sh.id != m.Shard || m.Hi < 0 {
+			// The shard finished before the narrow landed; the done frame
+			// already queued any remainder.
+			return nil
+		}
+		sh.narrowed = false
+		if m.Hi >= sh.hi {
+			sh.noSteal = true // claim frontier already past the cut
+			return nil
+		}
+		c.steals++
+		c.pending = append(c.pending, span{Lo: m.Hi, Hi: sh.hi})
+		c.progressf("steal: shard %d yields jobs [%d,%d)", sh.id, m.Hi, sh.hi)
+		sh.hi = m.Hi
+	case "done":
+		sh := w.shard
+		if sh == nil || sh.id != m.Shard {
+			return fmt.Errorf("fleet: worker %d reported shard %d done, but holds %v", w.id, m.Shard, sh)
+		}
+		w.shard = nil
+		if m.Hi < sh.hi {
+			// The worker stopped at a narrowed bound whose yield frame we
+			// have not processed yet; queue the remainder here and let the
+			// stale yield no-op.
+			c.steals++
+			c.pending = append(c.pending, span{Lo: m.Hi, Hi: sh.hi})
+		}
+		if m.Hi == m.Lo {
+			return nil // fully stolen before any claim; nothing covered
+		}
+		if m.Result == nil || m.Result.Configs != m.Hi-m.Lo {
+			return fmt.Errorf("fleet: worker %d shard %d done frame covers [%d,%d) but result has %v configs", w.id, m.Shard, m.Lo, m.Hi, m.Result)
+		}
+		c.records = append(c.records, ShardRecord{ID: sh.id, Lo: m.Lo, Hi: m.Hi, Result: m.Result})
+		c.progressf("shard %d done: jobs [%d,%d), %d runs (%d/%d jobs covered)",
+			sh.id, m.Lo, m.Hi, m.Result.Runs, c.coveredJobs(), c.jobs)
+		if c.opts.CheckpointPath != "" {
+			if err := WriteCheckpoint(c.opts.CheckpointPath, c.checkpoint()); err != nil {
+				return err
+			}
+		}
+		if c.opts.afterCheckpoint != nil {
+			if err := c.opts.afterCheckpoint(len(c.records)); err != nil {
+				return err
+			}
+		}
+	case "error":
+		return fmt.Errorf("fleet: worker %d failed: %s", w.id, m.Error)
+	default:
+		return fmt.Errorf("fleet: worker %d sent unexpected frame %q", w.id, m.Type)
+	}
+	return nil
+}
+
+// onDeath requeues a dead worker's shard and spawns a replacement. Jobs
+// the shard had finished are re-run — results only enter the sweep through
+// done frames, so the accounting stays exact.
+func (c *coordinator) onDeath(w *workerProc, cause error) error {
+	// Workers only exit on an exit frame or stdin EOF, and the loop sends
+	// neither — any EOF here is a premature death.
+	w.dead = true
+	w.ready = false
+	c.deaths++
+	if sh := w.shard; sh != nil {
+		w.shard = nil
+		c.pending = append(c.pending, span{Lo: sh.lo, Hi: sh.hi})
+		c.progressf("worker %d died (%v); requeued jobs [%d,%d)", w.id, cause, sh.lo, sh.hi)
+	}
+	if c.deaths > 2*c.opts.Procs {
+		return fmt.Errorf("fleet: %d worker deaths (last: %v); aborting", c.deaths, cause)
+	}
+	if c.coveredJobs() < c.jobs && c.liveWorkers() == 0 {
+		return c.spawn()
+	}
+	return nil
+}
+
+func (c *coordinator) liveWorkers() int {
+	n := 0
+	for _, w := range c.workers {
+		if !w.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// checkpoint snapshots the frontier, shards ordered by job span so the
+// file is deterministic for a given set of completions.
+func (c *coordinator) checkpoint() *Checkpoint {
+	shards := append([]ShardRecord(nil), c.records...)
+	sort.Slice(shards, func(i, j int) bool { return shards[i].Lo < shards[j].Lo })
+	return &Checkpoint{
+		Schema:  CheckpointSchema,
+		Spec:    c.opts.Spec,
+		SpecKey: c.opts.Spec.Key(),
+		Jobs:    c.jobs,
+		Shards:  shards,
+	}
+}
+
+// merge folds every shard record — resumed and fresh — into the sweep's
+// single Result, in job-span order so the fold is deterministic.
+func (c *coordinator) merge() (*explore.Result, error) {
+	if g := gaps(c.jobs, c.doneSpans()); len(g) != 0 {
+		return nil, fmt.Errorf("fleet: internal: merge with uncovered job spans %v", g)
+	}
+	records := append([]ShardRecord(nil), c.records...)
+	sort.Slice(records, func(i, j int) bool { return records[i].Lo < records[j].Lo })
+	results := make([]*explore.Result, len(records))
+	for i, r := range records {
+		results[i] = r.Result
+	}
+	return explore.MergeResults(results)
+}

@@ -1,0 +1,36 @@
+// Package fleet shards a bounded-exhaustive exploration sweep across
+// worker processes: a coordinator plans the (pattern × oracle) job space
+// explore.EnumerateJobs defines, hands contiguous job-index shards to
+// `fdlab fleet-worker` subprocesses over a length-delimited JSON protocol
+// on stdin/stdout, work-steals the tails of straggler shards, checkpoints
+// the completed frontier after every shard, and folds per-shard results
+// into one explore.Result via explore.MergeResults.
+//
+// # Identity and determinism
+//
+// Everything hangs off one fact: EnumerateJobs is deterministic, so a Spec
+// (the serializable sweep description) plus a job-index span names the same
+// work in every process and every resumed run. The wire protocol and the
+// checkpoint therefore carry only spans and results, never jobs. Shard
+// *scheduling* — which worker runs which span, when steals fire — is
+// timing-dependent, but the merged Result is not: per-job results are
+// independent (the explorer's only cross-job coupling is the MaxViolations
+// budget), and MergeResults' fold is commutative with violations
+// deduplicated and sorted by (pattern, oracle, property).
+//
+// The one semantic difference from a single-process Explore: MaxViolations
+// is a global budget in one process but a per-shard budget in a fleet, so
+// exact result equality holds when the budget does not bind — sweeps
+// wanting it set MaxViolations above any plausible violation count.
+//
+// # Resume
+//
+// The checkpoint (schema-versioned JSON, written atomically after every
+// shard completion) records the Spec, its canonical Key, the job-space
+// size, and every completed shard's span + full explore.Result, shrunk
+// violation artifacts included. A killed sweep re-run with -resume loads
+// it, refuses loudly on schema/spec/job-space mismatch or a structurally
+// broken frontier, and plans shards only over the uncovered spans —
+// completed shards are never re-run. The same file doubles as a persistent
+// explored-subspace cache for any later sweep with the same Key.
+package fleet

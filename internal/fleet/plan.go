@@ -1,0 +1,87 @@
+package fleet
+
+import "sort"
+
+// span is a half-open range [Lo, Hi) of explore job indices. Shards,
+// checkpoint records and steals all speak spans: because EnumerateJobs is
+// deterministic, a span fully identifies its jobs in any process.
+type span struct {
+	Lo, Hi int
+}
+
+func (s span) len() int { return s.Hi - s.Lo }
+
+// defaultOversubscribe is the shard-count multiplier over the worker
+// count. More shards than workers keeps every worker busy while shard
+// run-times vary (heavy DPOR trees vs near-empty crash patterns), bounds
+// the work lost to a kill at one shard, and gives work-stealing something
+// to rebalance; 8 keeps shards coarse enough that framing and checkpoint
+// writes stay noise.
+const defaultOversubscribe = 8
+
+// planShards cuts the uncovered spans of a jobs-long space into at most
+// target-sized shards, in deterministic ascending order. done lists the
+// already-covered spans (from a resumed checkpoint), in any order.
+func planShards(jobs int, done []span, target int) []span {
+	if target < 1 {
+		target = 1
+	}
+	var out []span
+	for _, g := range gaps(jobs, done) {
+		for lo := g.Lo; lo < g.Hi; lo += target {
+			hi := lo + target
+			if hi > g.Hi {
+				hi = g.Hi
+			}
+			out = append(out, span{Lo: lo, Hi: hi})
+		}
+	}
+	return out
+}
+
+// shardTarget sizes shards so procs workers see defaultOversubscribe
+// shards each, with a floor of one job.
+func shardTarget(jobs, procs int) int {
+	if procs < 1 {
+		procs = 1
+	}
+	target := jobs / (procs * defaultOversubscribe)
+	if target < 1 {
+		target = 1
+	}
+	return target
+}
+
+// gaps returns the ascending complement of done within [0, jobs): the job
+// spans a resumed sweep still has to run. Overlapping or adjacent done
+// spans merge; spans outside [0, jobs) are clipped (Checkpoint validation
+// rejects them earlier — this keeps gaps total on any input).
+func gaps(jobs int, done []span) []span {
+	ds := make([]span, 0, len(done))
+	for _, d := range done {
+		if d.Lo < 0 {
+			d.Lo = 0
+		}
+		if d.Hi > jobs {
+			d.Hi = jobs
+		}
+		if d.Lo < d.Hi {
+			ds = append(ds, d)
+		}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].Lo < ds[j].Lo })
+	var out []span
+	next := 0
+	for _, d := range ds {
+		if d.Lo > next {
+			out = append(out, span{Lo: next, Hi: d.Lo})
+		}
+		if d.Hi > next {
+			next = d.Hi
+		}
+	}
+	if next < jobs {
+		out = append(out, span{Lo: next, Hi: jobs})
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGaps(t *testing.T) {
+	cases := []struct {
+		name string
+		jobs int
+		done []span
+		want []span
+	}{
+		{"nothing-done", 10, nil, []span{{0, 10}}},
+		{"all-done", 10, []span{{0, 10}}, nil},
+		{"middle-done", 10, []span{{3, 7}}, []span{{0, 3}, {7, 10}}},
+		{"unordered-adjacent", 10, []span{{5, 7}, {0, 5}}, []span{{7, 10}}},
+		{"overlapping", 10, []span{{0, 6}, {4, 8}}, []span{{8, 10}}},
+		{"clipped", 5, []span{{-2, 2}, {4, 99}}, []span{{2, 4}}},
+		{"interleaved", 12, []span{{10, 12}, {2, 4}, {6, 8}}, []span{{0, 2}, {4, 6}, {8, 10}}},
+	}
+	for _, tc := range cases {
+		if got := gaps(tc.jobs, tc.done); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: gaps(%d, %v) = %v, want %v", tc.name, tc.jobs, tc.done, got, tc.want)
+		}
+	}
+}
+
+func TestPlanShards(t *testing.T) {
+	got := planShards(10, []span{{4, 6}}, 3)
+	want := []span{{0, 3}, {3, 4}, {6, 9}, {9, 10}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("planShards = %v, want %v", got, want)
+	}
+	// Shards cover exactly the gaps, in ascending order, every time.
+	again := planShards(10, []span{{4, 6}}, 3)
+	if !reflect.DeepEqual(got, again) {
+		t.Errorf("planShards not deterministic: %v vs %v", got, again)
+	}
+	if shards := planShards(5, nil, 0); len(shards) != 5 {
+		t.Errorf("planShards with target<1 produced %v, want 5 single-job shards", shards)
+	}
+}
+
+func TestShardTarget(t *testing.T) {
+	if got := shardTarget(910, 8); got != 910/(8*defaultOversubscribe) {
+		t.Errorf("shardTarget(910, 8) = %d", got)
+	}
+	if got := shardTarget(6, 2); got != 1 {
+		t.Errorf("shardTarget(6, 2) = %d, want floor of 1", got)
+	}
+	if got := shardTarget(100, 0); got != shardTarget(100, 1) {
+		t.Errorf("shardTarget with procs 0 = %d, want the procs=1 sizing", got)
+	}
+}
+
+func TestShardRunClaimNarrow(t *testing.T) {
+	sr := &shardRun{id: 1, lo: 10, hi: 20, next: 10, limit: 20}
+	for want := 10; want < 13; want++ {
+		i, ok := sr.claim()
+		if !ok || i != want {
+			t.Fatalf("claim = %d,%v; want %d,true", i, ok, want)
+		}
+	}
+	// Narrow below the claim frontier clamps up: claimed jobs can't be
+	// unclaimed, so the worker keeps [10,13) and yields [13,20).
+	if actual := sr.narrow(11); actual != 13 {
+		t.Errorf("narrow(11) = %d, want clamp to claim frontier 13", actual)
+	}
+	if _, ok := sr.claim(); ok {
+		t.Error("claim succeeded past a narrowed limit")
+	}
+	if sr.covered() != 13 {
+		t.Errorf("covered = %d, want 13", sr.covered())
+	}
+	// Narrowing an already-narrowed shard never raises the limit.
+	if actual := sr.narrow(18); actual != 13 {
+		t.Errorf("narrow(18) after narrow = %d, want 13", actual)
+	}
+}

@@ -1,0 +1,105 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"weakestfd/internal/explore"
+	"weakestfd/internal/sim"
+)
+
+// Spec is the primitive, process-portable description of one sweep: every
+// knob of explore.Config that shapes the configuration space or the
+// per-configuration search, expressed in serializable terms (system and
+// engine by name, times as integers). The coordinator ships it to workers
+// verbatim and stamps its Key into checkpoints, so both sides — and a
+// resumed run — provably rebuild the identical job list.
+type Spec struct {
+	// System names the system under exploration (explore.NewSystem).
+	System string `json:"system"`
+	// N is the process count; F the resilience (explore.NewSystem).
+	N int `json:"n"`
+	F int `json:"f"`
+	// Engine names the exploration engine (explore.ParseEngine); "" means
+	// the default.
+	Engine string `json:"engine,omitempty"`
+	// The remaining fields mirror the explore.Config fields of the same
+	// name; zero values take explore's defaults.
+	NoHash        bool    `json:"no_hash,omitempty"`
+	MaxStates     int     `json:"max_states,omitempty"`
+	MaxBlocks     int     `json:"max_blocks,omitempty"`
+	MaxBlock      int     `json:"max_block,omitempty"`
+	MaxDepth      int     `json:"max_depth,omitempty"`
+	MaxRuns       int64   `json:"max_runs,omitempty"`
+	Budget        int64   `json:"budget,omitempty"`
+	CrashTimes    []int64 `json:"crash_times,omitempty"`
+	SwitchBudget  int     `json:"switch_budget,omitempty"`
+	FlipTimes     []int64 `json:"flip_times,omitempty"`
+	Symmetry      bool    `json:"symmetry,omitempty"`
+	MaxViolations int     `json:"max_violations,omitempty"`
+	ShrinkBudget  int     `json:"shrink_budget,omitempty"`
+	// Workers is the lab pool width per worker process. It shapes only how
+	// fast a worker explores, never what it explores, so Key ignores it: a
+	// checkpoint taken at one width resumes at any other.
+	Workers int `json:"workers,omitempty"`
+}
+
+// Key is the canonical identity of the sweep this Spec describes — the
+// JSON encoding with the space-neutral Workers field zeroed. Checkpoints
+// record it and refuse to resume under a different key.
+func (s Spec) Key() string {
+	s.Workers = 0
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Spec is a struct of plain scalars and slices; Marshal cannot fail.
+		panic(fmt.Sprintf("fleet: marshaling spec key: %v", err))
+	}
+	return string(b)
+}
+
+// Config instantiates the spec into an explore.Config, validating the
+// named system and engine.
+func (s Spec) Config() (explore.Config, error) {
+	f := s.F
+	if f == 0 {
+		f = s.N - 1
+	}
+	sys, err := explore.NewSystem(s.System, s.N, f)
+	if err != nil {
+		return explore.Config{}, fmt.Errorf("fleet: %w", err)
+	}
+	engine, err := explore.ParseEngine(s.Engine)
+	if err != nil {
+		return explore.Config{}, fmt.Errorf("fleet: %w", err)
+	}
+	return explore.Config{
+		System:        sys,
+		Engine:        engine,
+		NoHash:        s.NoHash,
+		MaxStates:     s.MaxStates,
+		MaxBlocks:     s.MaxBlocks,
+		MaxBlock:      s.MaxBlock,
+		MaxDepth:      s.MaxDepth,
+		MaxRuns:       s.MaxRuns,
+		Budget:        s.Budget,
+		MaxFaults:     f,
+		CrashTimes:    toTimes(s.CrashTimes),
+		SwitchBudget:  s.SwitchBudget,
+		FlipTimes:     toTimes(s.FlipTimes),
+		Symmetry:      s.Symmetry,
+		MaxViolations: s.MaxViolations,
+		ShrinkBudget:  s.ShrinkBudget,
+		Workers:       s.Workers,
+	}, nil
+}
+
+func toTimes(ts []int64) []sim.Time {
+	if ts == nil {
+		return nil
+	}
+	out := make([]sim.Time, len(ts))
+	for i, t := range ts {
+		out[i] = sim.Time(t)
+	}
+	return out
+}

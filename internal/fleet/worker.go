@@ -1,0 +1,206 @@
+package fleet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+
+	"weakestfd/internal/explore"
+)
+
+// lockedWriter serializes protocol frames from the shard supervisor and
+// the main loop onto the single stdout pipe.
+type lockedWriter struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+}
+
+func (lw *lockedWriter) send(m *message) error {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	if err := writeFrame(lw.w, m); err != nil {
+		return err
+	}
+	return lw.w.Flush()
+}
+
+// shardRun is one in-flight shard's claim frontier. Executors claim job
+// indices through it; a coordinator steal narrows its limit. Claim and
+// narrow are serialized by one mutex — with bare atomics a narrow could
+// land between an executor's claim and the limit check, letting a stolen
+// job run twice (once here, once in the shard the coordinator re-assigns
+// it to) and double-count every counter. Jobs cost thousands of simulation
+// runs, so the lock is free by comparison.
+type shardRun struct {
+	id     int
+	lo, hi int
+
+	mu    sync.Mutex
+	next  int // next unclaimed job index
+	limit int // exclusive claim bound; narrowed by steals
+}
+
+// claim takes the next job index, or reports the shard drained.
+func (s *shardRun) claim() (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.next >= s.limit {
+		return 0, false
+	}
+	i := s.next
+	s.next++
+	return i, true
+}
+
+// narrow lowers the claim bound to hi — clamped up to the claim frontier
+// (already-claimed jobs cannot be unclaimed) — and returns the bound that
+// actually holds: the coordinator owns [returned, original hi) from here on.
+func (s *shardRun) narrow(hi int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if hi < s.next {
+		hi = s.next
+	}
+	if hi < s.limit {
+		s.limit = hi
+	}
+	return s.limit
+}
+
+// covered is the final span bound once executors have drained the shard.
+func (s *shardRun) covered() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.limit
+}
+
+// WorkerMain is the worker process body behind `fdlab fleet-worker`: it
+// reads a Spec, re-enumerates the job space, and serves shard assignments
+// until stdin closes or an exit frame arrives. All exploration determinism
+// lives in explore; this layer only moves job indices and results.
+func WorkerMain(in io.Reader, out io.Writer) error {
+	r := bufio.NewReaderSize(in, 1<<16)
+	w := &lockedWriter{w: bufio.NewWriterSize(out, 1<<16)}
+
+	first, err := readFrame(r)
+	if err != nil {
+		return fmt.Errorf("fleet worker: reading spec: %w", err)
+	}
+	if first.Type != "spec" || first.Spec == nil {
+		return fmt.Errorf("fleet worker: first frame is %q, want spec", first.Type)
+	}
+	spec := *first.Spec
+	cfg, err := spec.Config()
+	if err != nil {
+		w.send(&message{Type: "error", Error: err.Error()})
+		return err
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	jobs := explore.EnumerateJobs(cfg)
+	if err := w.send(&message{Type: "ready", Jobs: len(jobs)}); err != nil {
+		return err
+	}
+
+	// Per-job exploration config: each executor explores one job at a time
+	// with a single-width lab pool; worker-level parallelism comes from the
+	// executor pool instead, so cfg.Workers stays the one knob.
+	jobCfg := cfg
+	jobCfg.Workers = 1
+
+	var (
+		mu     sync.Mutex
+		active = make(map[int]*shardRun)
+		wg     sync.WaitGroup
+	)
+	for {
+		m, err := readFrame(r)
+		if err == io.EOF {
+			// Coordinator went away: stop taking work, let in-flight shards
+			// finish (their done frames go nowhere) and exit cleanly.
+			wg.Wait()
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("fleet worker: %w", err)
+		}
+		switch m.Type {
+		case "shard":
+			if m.Lo < 0 || m.Hi > len(jobs) || m.Lo >= m.Hi {
+				w.send(&message{Type: "error", Error: fmt.Sprintf("shard %d spans invalid [%d,%d) of %d jobs", m.Shard, m.Lo, m.Hi, len(jobs))})
+				return fmt.Errorf("fleet worker: invalid shard span [%d,%d)", m.Lo, m.Hi)
+			}
+			sr := &shardRun{id: m.Shard, lo: m.Lo, hi: m.Hi, next: m.Lo, limit: m.Hi}
+			mu.Lock()
+			active[sr.id] = sr
+			mu.Unlock()
+			wg.Add(1)
+			//lint:fdlint determinism -- process orchestration: the supervisor only moves job indices and finished results; exploration order never affects the merged Result
+			go func() {
+				defer wg.Done()
+				runShard(jobCfg, jobs, sr, cfg.Workers, w)
+				mu.Lock()
+				delete(active, sr.id)
+				mu.Unlock()
+			}()
+		case "narrow":
+			mu.Lock()
+			sr := active[m.Shard]
+			mu.Unlock()
+			if sr == nil {
+				// The shard finished before the steal landed; its done frame
+				// is already in flight, so the coordinator ignores the yield.
+				w.send(&message{Type: "yield", Shard: m.Shard, Hi: -1})
+				continue
+			}
+			actual := sr.narrow(m.Hi)
+			if err := w.send(&message{Type: "yield", Shard: m.Shard, Hi: actual}); err != nil {
+				return err
+			}
+		case "exit":
+			wg.Wait()
+			return nil
+		default:
+			return fmt.Errorf("fleet worker: unexpected frame %q", m.Type)
+		}
+	}
+}
+
+// runShard drains one shard through a pool of executors and reports the
+// merged result for exactly the covered span.
+func runShard(jobCfg explore.Config, jobs []explore.Job, sr *shardRun, executors int, w *lockedWriter) {
+	results := make([]*explore.Result, sr.hi-sr.lo)
+	var wg sync.WaitGroup
+	for e := 0; e < executors; e++ {
+		wg.Add(1)
+		//lint:fdlint determinism -- process orchestration: executors claim disjoint job indices under shardRun's mutex; per-job Results are order-independent and merged by the deterministic MergeResults
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := sr.claim()
+				if !ok {
+					return
+				}
+				res := explore.ExploreJobs(jobCfg, []explore.Job{jobs[i]})
+				results[i-sr.lo] = res
+				w.send(&message{Type: "progress", Shard: sr.id, Lo: i, Name: jobs[i].Label(), Runs: res.Runs})
+			}
+		}()
+	}
+	wg.Wait()
+
+	covered := sr.covered()
+	if covered == sr.lo {
+		// Fully stolen before any claim: nothing to merge, nothing to record.
+		w.send(&message{Type: "done", Shard: sr.id, Lo: sr.lo, Hi: sr.lo})
+		return
+	}
+	merged, err := explore.MergeResults(results[:covered-sr.lo])
+	if err != nil {
+		w.send(&message{Type: "error", Error: fmt.Sprintf("merging shard %d: %v", sr.id, err)})
+		return
+	}
+	w.send(&message{Type: "done", Shard: sr.id, Lo: sr.lo, Hi: covered, Result: merged})
+}
