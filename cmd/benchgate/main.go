@@ -11,8 +11,10 @@
 //
 // Report-level checks: the machine and goroutine lab fingerprints must be
 // equal within the current report (bit-identical results across engines), the
-// machine-vs-goroutine matrix speedup must not fall below -min-speedup, and
-// the measured workloads (matrix seeds) must match.
+// machine-vs-goroutine matrix speedup must not fall below -min-speedup, the
+// deterministic explorer run-count ratios must not fall below
+// -min-explore-reduction (budget 0) and -min-flip-reduction (switch budget 1),
+// and the measured workloads (matrix seeds) must match.
 //
 // Wall-clock numbers only compare meaningfully on comparable hardware. When
 // the two reports disagree on GOMAXPROCS (a cheap different-machine
@@ -47,6 +49,7 @@ type benchReport struct {
 	Benchmarks                []benchResult `json:"benchmarks"`
 	SpeedupMachineVsGoroutine float64       `json:"speedup_machine_vs_goroutine"`
 	ExploreReduction          float64       `json:"explore_reduction"`
+	FlipReduction             float64       `json:"flip_reduction"`
 	FingerprintMachine        string        `json:"fingerprint_machine"`
 	FingerprintGoroutine      string        `json:"fingerprint_goroutine"`
 }
@@ -84,6 +87,7 @@ func main() {
 		tolerance    = flag.Float64("tolerance", 0.20, "allowed fractional regression in ns/op and allocs/op")
 		minSpeedup   = flag.Float64("min-speedup", 5.0, "minimum machine-vs-goroutine matrix speedup")
 		minReduction = flag.Float64("min-explore-reduction", 2.0, "minimum classic-vs-source explorer run-count reduction (0 disables the check)")
+		minFlip      = flag.Float64("min-flip-reduction", 2.0, "minimum classic-vs-source run-count reduction on the switch-budget-1 sweep (0 disables the check)")
 	)
 	flag.Parse()
 	if *currentPath == "" {
@@ -98,7 +102,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if gate(os.Stdout, baseline, current, *tolerance, *minSpeedup, *minReduction) {
+	if gate(os.Stdout, baseline, current, *tolerance, *minSpeedup, *minReduction, *minFlip) {
 		os.Exit(1)
 	}
 }
@@ -112,7 +116,7 @@ func main() {
 // current value against a zero baseline fails — always fatally, since a
 // zero recorded cost is either corrupt data or a metric the current report
 // must also lack.
-func gate(w io.Writer, baseline, current *benchReport, tolerance, minSpeedup, minReduction float64) (failed bool) {
+func gate(w io.Writer, baseline, current *benchReport, tolerance, minSpeedup, minReduction, minFlip float64) (failed bool) {
 	fail := func(format string, args ...any) {
 		failed = true
 		fmt.Fprintf(w, "FAIL: "+format+"\n", args...)
@@ -153,6 +157,18 @@ func gate(w io.Writer, baseline, current *benchReport, tolerance, minSpeedup, mi
 		} else {
 			fmt.Fprintf(w, "ok:   explore reduction %.2fx (floor %.2fx)\n",
 				current.ExploreReduction, minReduction)
+		}
+	}
+	// Same determinism argument for the switch-budget-1 ratio: flip-anchored
+	// wakeup sequences must keep the source engine well below classic even
+	// under unstable histories.
+	if minFlip > 0 {
+		if current.FlipReduction < minFlip {
+			fail("flip reduction %.2fx below required %.2fx (flip-anchored wakeup sequences must beat classic DPOR at switch budget 1)",
+				current.FlipReduction, minFlip)
+		} else {
+			fmt.Fprintf(w, "ok:   flip reduction %.2fx (floor %.2fx)\n",
+				current.FlipReduction, minFlip)
 		}
 	}
 

@@ -8,6 +8,7 @@ import (
 	"os"
 	"sync"
 
+	"weakestfd/internal/cli"
 	"weakestfd/internal/explore"
 	"weakestfd/internal/sim"
 )
@@ -22,9 +23,11 @@ func runExplore(args []string) {
 	fs := flag.NewFlagSet("explore", flag.ExitOnError)
 	sf := addSweepFlags(fs)
 	var (
-		workers  = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		progress = fs.Bool("progress", false, "print one line per finished configuration")
-		outDir   = fs.String("out", ".", "directory for counterexample artifacts")
+		workers    = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		progress   = fs.Bool("progress", false, "print one line per finished configuration")
+		outDir     = fs.String("out", ".", "directory for counterexample artifacts")
+		cpuprofile = fs.String("cpuprofile", "", cli.CPUProfileUsage)
+		memprofile = fs.String("memprofile", "", cli.MemProfileUsage)
 	)
 	_ = fs.Parse(args)
 	validatePool(*workers, 1)
@@ -34,6 +37,10 @@ func runExplore(args []string) {
 		log.Fatal(err)
 	}
 	cfg.Workers = *workers
+	stopProfiles, err := cli.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if *progress {
 		// Configurations finish concurrently on the lab pool and OnConfig
 		// gives no mutual-exclusion guarantee, so the printer serializes
@@ -46,7 +53,11 @@ func runExplore(args []string) {
 			fmt.Fprintf(os.Stderr, "done %s (%d runs)\n", name, runs)
 		}
 	}
-	exitCode(reportSweep(explore.Explore(cfg), spec, *outDir))
+	// Flush the profiles before exitCode: os.Exit runs no defers, and the
+	// violation (exit 1) and truncation (exit 3) paths are profiled too.
+	code := reportSweep(explore.Explore(cfg), spec, *outDir)
+	stopProfiles()
+	exitCode(code)
 }
 
 // nextFlipOutput names what the history switches to at the given boundary:

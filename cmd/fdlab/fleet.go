@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"strings"
 
+	"weakestfd/internal/cli"
 	"weakestfd/internal/fleet"
 )
 
@@ -27,6 +28,8 @@ func runFleet(args []string) {
 		workerCmd  = fs.String("worker-cmd", "", "exec template launching one worker (space-separated argv; default: this binary's hidden fleet-worker subcommand)")
 		progress   = fs.Bool("progress", false, "print fleet events (shards, steals, finished configurations)")
 		outDir     = fs.String("out", ".", "directory for counterexample artifacts")
+		cpuprofile = fs.String("cpuprofile", "", cli.CPUProfileUsage+" (coordinator process only)")
+		memprofile = fs.String("memprofile", "", cli.MemProfileUsage+" (coordinator process only)")
 	)
 	_ = fs.Parse(args)
 	if *procs < 1 {
@@ -69,13 +72,21 @@ func runFleet(args []string) {
 		// no extra serialization is needed here.
 		opts.OnProgress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
+	stopProfiles, err := cli.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
 	sum, err := fleet.Run(opts)
 	if err != nil {
+		// log.Fatal calls os.Exit, which runs no defers: flush first.
+		stopProfiles()
 		log.Fatal(err)
 	}
 	fmt.Printf("fleet: %d jobs (%d resumed, %d executed) over %d workers, %d shards, %d steals, %dms wall\n",
 		sum.Jobs, sum.ResumedJobs, sum.ExecutedJobs, sum.Workers, sum.Shards, sum.Steals, sum.WallMS)
-	exitCode(reportSweep(sum.Result, spec, *outDir))
+	code := reportSweep(sum.Result, spec, *outDir)
+	stopProfiles()
+	exitCode(code)
 }
 
 // runFleetWorker is the hidden `fdlab fleet-worker` subcommand: one worker

@@ -47,6 +47,13 @@ type BenchReport struct {
 	// deterministic, so the ratio is hardware-independent and the gate
 	// enforces a floor on it.
 	ExploreReduction float64 `json:"explore_reduction"`
+	// FlipReduction is the same classic-over-source executed-run ratio on
+	// the pinned sweep at switch-budget 1 — the headline number of the
+	// flip-anchored wakeup sequences. The classic run count comes from one
+	// untimed reference sweep (only the source side is wall-clock
+	// benchmarked); the ratio is deterministic and the gate enforces a floor
+	// on it.
+	FlipReduction float64 `json:"flip_reduction"`
 	// FleetVsSingleProcess is the ns/op ratio of the single-process source
 	// sweep over the same sweep run through `fdlab fleet`'s coordinator with
 	// two worker subprocesses: > 1 means the fleet outran one process. On a
@@ -207,7 +214,7 @@ func runBenchJSON(path string, seeds int) error {
 	// the engine's executed-schedule count on the identical configuration
 	// grid — deterministic, so the gate compares it exactly — and the
 	// classic/source ratio is the reduction headline.
-	var classicRuns, sourceRuns, sourceNs float64
+	var classicRuns, sourceRuns, sourceNs, budget1SourceRuns float64
 	for _, eb := range exploreBenchmarks() {
 		eb := eb
 		runs, violations := eb.run()
@@ -230,10 +237,22 @@ func runBenchJSON(path string, seeds int) error {
 		case "fig1-n3/source":
 			sourceRuns = float64(runs)
 			sourceNs = float64(res.T.Nanoseconds()) / float64(res.N)
+		case "fig1-n3/budget1-source":
+			budget1SourceRuns = float64(runs)
 		}
 	}
 	if sourceRuns > 0 {
 		report.ExploreReduction = classicRuns / sourceRuns
+	}
+	if budget1SourceRuns > 0 {
+		// One untimed classic reference pass for the flip-reduction ratio:
+		// wall-clocking classic at budget 1 (~1.3M runs per op) would dominate
+		// the whole suite, and only its deterministic run count matters.
+		classicB1Runs, violations := exploreSweep(explore.EngineDPOR, 1)()
+		if violations != 0 {
+			return fmt.Errorf("explore/fig1-n3/budget1-classic reference: %d violations on the real protocol", violations)
+		}
+		report.FlipReduction = float64(classicB1Runs) / budget1SourceRuns
 	}
 
 	// Fleet throughput: the identical pinned source sweep sharded across two
@@ -267,8 +286,8 @@ func runBenchJSON(path string, seeds int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("bench report written to %s (matrix speedup %.2fx, explore reduction %.2fx, fingerprint %s)\n",
-		path, report.SpeedupMachineVsGoroutine, report.ExploreReduction, report.FingerprintMachine[:16])
+	fmt.Printf("bench report written to %s (matrix speedup %.2fx, explore reduction %.2fx, flip reduction %.2fx, fingerprint %s)\n",
+		path, report.SpeedupMachineVsGoroutine, report.ExploreReduction, report.FlipReduction, report.FingerprintMachine[:16])
 	return nil
 }
 
@@ -283,22 +302,30 @@ func exploreBenchmarks() []exploreBench {
 	// The pinned sweep: fig1 n=3 on the single crash time 0, depth 12 — the
 	// standard-suite shape trimmed to one crash grid point so the classic
 	// engine's pass stays bench-affordable.
-	sweep := func(engine explore.Engine) func() (int64, int) {
-		return func() (int64, int) {
-			res := explore.Explore(explore.Config{
-				System:     explore.Fig1System(3),
-				Engine:     engine,
-				MaxDepth:   12,
-				Budget:     2048,
-				CrashTimes: []sim.Time{0},
-				Workers:    1,
-			})
-			return res.Runs, len(res.Violations)
-		}
-	}
 	return []exploreBench{
-		{"fig1-n3/classic", sweep(explore.EngineDPOR)},
-		{"fig1-n3/source", sweep(explore.EngineSource)},
+		{"fig1-n3/classic", exploreSweep(explore.EngineDPOR, 0)},
+		{"fig1-n3/source", exploreSweep(explore.EngineSource, 0)},
+		// The same sweep under one pre-stabilization detector switch: the
+		// flip-anchored wakeup-sequence regime. Classic's budget-1 pass is too
+		// slow to wall-clock here; runBenchJSON runs it once, untimed, for the
+		// flip_reduction ratio.
+		{"fig1-n3/budget1-source", exploreSweep(explore.EngineSource, 1)},
+	}
+}
+
+// exploreSweep runs the pinned sweep once at the given switch budget.
+func exploreSweep(engine explore.Engine, switchBudget int) func() (int64, int) {
+	return func() (int64, int) {
+		res := explore.Explore(explore.Config{
+			System:       explore.Fig1System(3),
+			Engine:       engine,
+			SwitchBudget: switchBudget,
+			MaxDepth:     12,
+			Budget:       2048,
+			CrashTimes:   []sim.Time{0},
+			Workers:      1,
+		})
+		return res.Runs, len(res.Violations)
 	}
 }
 

@@ -82,6 +82,8 @@ func main() {
 		benchJSON    = flag.String("bench-json", "", "measure the benchmark suite and write the JSON report to this file")
 		exploreRun   = flag.Bool("explore", false, "run the bounded-exhaustive schedule-space sweep (internal/explore) and exit")
 		switchBudget = flag.Int("switch-budget", 0, "with -explore: max pre-stabilization detector output switches per history (0 = stable-from-0 histories, the standard suite)")
+		cpuprofile   = flag.String("cpuprofile", "", "with -explore: "+cli.CPUProfileUsage)
+		memprofile   = flag.String("memprofile", "", "with -explore: "+cli.MemProfileUsage)
 		legacy       = flag.Bool("legacy-runner", false, "drive simulations with the goroutine-per-process engine instead of the step-machine engine")
 	)
 	flag.Parse()
@@ -98,11 +100,22 @@ func main() {
 	if *switchBudget > 0 && !*exploreRun {
 		log.Fatal("-switch-budget applies only to -explore")
 	}
+	if (*cpuprofile != "" || *memprofile != "") && !*exploreRun {
+		log.Fatal("-cpuprofile/-memprofile apply only to -explore")
+	}
 	if *exploreRun {
 		if *legacy {
 			log.Fatal("-explore drives the step-machine engine directly and cannot run on the goroutine engine; drop -legacy-runner")
 		}
-		if err := runExploreSuite(*workers, *switchBudget); err != nil {
+		stopProfiles, err := cli.StartProfiles(*cpuprofile, *memprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = runExploreSuite(*workers, *switchBudget)
+		// Flush before log.Fatal — os.Exit runs no defers, and the exit-1
+		// violation path is profiled too.
+		stopProfiles()
+		if err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -45,6 +45,20 @@
 //     already explored). In this simulation the fallback is provably dead
 //     anyway: crashes happen at absolute times and enabledness never
 //     recovers, so any process that stepped inside (b, c) was enabled at b.
+//   - Flip anchoring: with a non-empty flip schedule (SwitchBudget > 0
+//     histories), a detector flip is pinned to an *absolute* global time
+//     while the forced reversal left-shifts every window step, so the
+//     wakeup-sequence construction applies one extra dependency rule
+//     (wakeup.go): a step whose history query would cross a flip on the way
+//     to its shifted slot — lo < flip time <= hi — cannot join the sequence,
+//     and neither can any later window step depending on it (same process or
+//     conflicting accesses; flip drops need that explicit transitive closure
+//     because a flip-pinned step does not happen-after b). Every kept step
+//     then replays its recorded behavior at its forced position. Only when
+//     the racing step c itself fails the rule does the engine degrade to a
+//     bare single-initial insertion — classic DPOR's per-race insertion,
+//     still gated by the covered/sleep checks. Flip-free configurations skip
+//     anchoring entirely: the stable-from-0 search is unchanged run for run.
 //   - Sleep sets carry fully-explored siblings down the tree exactly as in
 //     the classic engine; sleep-set skips count as Result.Pruned.
 //   - State-hash joins: when MaxDepth < Budget, every step of every run
@@ -52,26 +66,25 @@
 //     horizon in the same joint state run identical tails. Each run's state
 //     at the horizon is fingerprinted incrementally (sim.AccessLog's
 //     order-insensitive XOR of per-write value fingerprints — see
-//     StateDigest) and keyed together with the round-robin rotation point
-//     and the number of not-yet-applied detector flips; a later run hitting
-//     a seen key stops at the horizon and splices the recorded tail,
-//     counted in Result.Joined. Soundness of the flip-indexed key: crashes
-//     and flips fire at *absolute* times, and machines consult time only
-//     through the query seam, whose pending flips are (a) counted in the
-//     key and (b) themselves fingerprinted writes once applied — so equal
-//     key at equal time t means the two runs' futures are *identical*
-//     step for step, not merely equivalent, and the first visitor's
-//     property verdict covers the joined run. The cache is capped
+//     StateDigest) and keyed together with the round-robin rotation point,
+//     a fingerprint of any forced-prefix grants still pending past the
+//     horizon, and the detector environment's *outputs digest*
+//     (sim.QuerySeam.OutputsDigest): per live history, the output a query at
+//     the horizon would observe plus every still-pending flip's time and
+//     post-flip output. A later run hitting a seen key stops at the horizon
+//     and splices the recorded tail, counted in Result.Joined. Soundness:
+//     crashes and flips fire at *absolute* times, and machines consult time
+//     only through the query seam, whose environment-side accesses are
+//     sealed out of the per-process observation hashes (they are charged to
+//     whichever step runs at the flip time, not observed by it) and carried
+//     by the env component instead — so equal key at equal time t means the
+//     two runs' futures are *identical* step for step, not merely
+//     equivalent, and the first visitor's property verdict covers the
+//     joined run. A sound key never changes the search, only who executes
+//     each tail: the hash variant visits exactly the pure-source schedules
+//     (pinned by the differential suite). The cache is capped
 //     (Config.MaxStates); hitting the cap only disables new insertions and
 //     is reported as Result.StateCapped.
-//
-// One deliberate degradation: with a non-empty flip schedule
-// (SwitchBudget > 0 histories), a full wakeup sequence could left-shift a
-// querying step across a flip's absolute time and diverge from the
-// predicted window, so the engine inserts only the single initial it
-// targets — still sound (it is exactly classic DPOR's per-race insertion,
-// gated by the covered/sleep checks), just less aggressive. The standard
-// stable-from-0 suite always takes the full-sequence path.
 //
 // EngineDPOR is classic dynamic partial-order reduction in the
 // Flanagan–Godefroid style (POPL 2005): per-race backtrack points with the

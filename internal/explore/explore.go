@@ -666,6 +666,7 @@ func execute(sys System, pattern sim.Pattern, oracle OracleChoice, sched sim.Sch
 		K:         inst.K,
 		Report:    rep,
 		Err:       err,
+		seam:      seam,
 	}
 	if inst.Finish != nil {
 		inst.Finish(run)

@@ -120,33 +120,44 @@ func (o OracleChoice) withFlips(flips []FlipPhase) OracleChoice {
 // distinct — equal adjacent outputs would be the same history with a
 // redundant label. The stable-from-0 base choices are always included first,
 // so a Budget-0 plan returns base unchanged.
+//
+// The recursion backtracks through one shared phase buffer (allocated once,
+// capacity Budget) instead of growing a fresh prefix slice per call; the only
+// per-schedule allocation left is the owned copy handed to withFlips on
+// emission. Emission order is part of the enumeration's contract — fleet
+// sharding and checkpoint resume index into it — and is unchanged.
 func flipVariants(base []OracleChoice, domain []sim.Set, plan SwitchPlan) []OracleChoice {
 	out := append([]OracleChoice(nil), base...)
 	if plan.Budget <= 0 || len(plan.Times) == 0 || len(domain) == 0 {
 		return out
 	}
-	for _, b := range base {
-		var build func(prefix []FlipPhase, nextTime int)
-		build = func(prefix []FlipPhase, nextTime int) {
-			if len(prefix) > 0 {
-				// The phase list is a complete schedule at every length.
-				if prefix[len(prefix)-1].Out != b.Stable {
-					out = append(out, b.withFlips(append([]FlipPhase(nil), prefix...)))
-				}
-			}
-			if len(prefix) >= plan.Budget {
-				return
-			}
-			for ti := nextTime; ti < len(plan.Times); ti++ {
-				for _, v := range domain {
-					if len(prefix) > 0 && v == prefix[len(prefix)-1].Out {
-						continue // no-op switch
-					}
-					build(append(prefix, FlipPhase{Until: plan.Times[ti], Out: v}), ti+1)
-				}
+	scratch := make([]FlipPhase, 0, plan.Budget)
+	var cur OracleChoice
+	var build func(nextTime int)
+	build = func(nextTime int) {
+		if len(scratch) > 0 {
+			// The phase list is a complete schedule at every length.
+			if scratch[len(scratch)-1].Out != cur.Stable {
+				out = append(out, cur.withFlips(append([]FlipPhase(nil), scratch...)))
 			}
 		}
-		build(nil, 0)
+		if len(scratch) >= plan.Budget {
+			return
+		}
+		for ti := nextTime; ti < len(plan.Times); ti++ {
+			for _, v := range domain {
+				if len(scratch) > 0 && v == scratch[len(scratch)-1].Out {
+					continue // no-op switch
+				}
+				scratch = append(scratch, FlipPhase{Until: plan.Times[ti], Out: v})
+				build(ti + 1)
+				scratch = scratch[:len(scratch)-1]
+			}
+		}
+	}
+	for _, b := range base {
+		cur = b
+		build(0)
 	}
 	return out
 }

@@ -12,22 +12,32 @@ import "weakestfd/internal/sim"
 // when h < Budget (a fair tail exists), and is composed of:
 //
 //   - the access log's state digest (sim.AccessLog.StateDigest): every
-//     shared object's current-value fingerprint — detector-history objects
-//     included, their flip writes fingerprint the post-flip output — plus
-//     every process's rolling observation hash, whose per-step marker makes
-//     it a per-process program counter. Equal digests mean (up to 64-bit
-//     collisions) identical shared state and identical machine local states,
-//     because a machine's local state is a deterministic function of its
-//     observation sequence;
+//     shared object's current-value fingerprint plus every process's rolling
+//     observation hash, whose per-step marker makes it a per-process program
+//     counter. Equal digests mean (up to 64-bit collisions) identical shared
+//     state and identical machine local states, because a machine's local
+//     state is a deterministic function of its observation sequence. The
+//     environment's own history-object accesses (flip writes and
+//     boundary-guard reads) are sealed out of the observation hashes
+//     (sim.AccessLog.SealEnv): they are charged to whichever step runs at
+//     the flip's absolute time, not observed by it, and the env component
+//     below carries the information instead;
+//   - the detector environment's outputs digest at h
+//     (sim.QuerySeam.OutputsDigest): per registered history, the output a
+//     query at h would observe plus every still-pending flip's (time,
+//     post-flip output). Equal env components mean the continuations query
+//     identical presents and face identical futures; because the pending
+//     schedule is folded in, prefixes reaching h on opposite sides of a flip
+//     can never be identified even when the observable outputs happen to
+//     coincide;
 //   - the round-robin rotation state entering the tail (the last granted
 //     PID, or fresh when the forced prefix covered the whole horizon), so
 //     identical states continued by differently-rotated fair tails are
 //     never identified;
-//   - the configuration's flips-remaining index at h
-//     (sim.QuerySeam.FlipsRemaining). Within one configuration every history
-//     flips at fixed absolute times, so this is constant at fixed h — it is
-//     folded in for defense against future histories whose schedules depend
-//     on the run.
+//   - a fingerprint of the forced prefix's not-yet-executed suffix, when the
+//     wakeup sequence extends past the horizon: those grants override the
+//     fair tail, so two runs may join only when they agree on the pending
+//     grants too.
 //
 // Both runs are at the same global time (t = h: time advances one per step),
 // the crash pattern fires at absolute times, and flips fire at absolute
@@ -46,9 +56,20 @@ import "weakestfd/internal/sim"
 
 // joinKey identifies a state at the branch horizon.
 type joinKey struct {
-	digest uint64
-	rr     int16 // RR rotation entering the tail: last granted PID, -1 fresh
-	flips  int32 // flips still pending past the horizon
+	digest  uint64
+	env     uint64 // QuerySeam.OutputsDigest at the horizon
+	pending uint64 // pidSeqFP of forced-prefix grants past the horizon, 0 none
+	rr      int16  // RR rotation entering the tail: last granted PID, -1 fresh
+}
+
+// pidSeqFP fingerprints a grant sequence (FNV-1a over PID+1 so a leading
+// PID 0 is distinguishable from the empty sequence's 0).
+func pidSeqFP(pids []sim.PID) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for _, p := range pids {
+		h = (h ^ uint64(p+1)) * 0x100000001b3
+	}
+	return h
 }
 
 // tailStep is one cached tail step: its process and an owned copy of its

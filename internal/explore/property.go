@@ -37,6 +37,12 @@ type Run struct {
 	OutputsSettled bool
 	// StableOutput is the settled common output (valid iff OutputsSettled).
 	StableOutput sim.Set
+
+	// seam is the query seam the run recorded its detector accesses through
+	// (nil for unrecorded runs and systems without histories). The source
+	// engine's flip-anchored race analysis reads the registered histories'
+	// flip schedules from it.
+	seam *sim.QuerySeam
 }
 
 // Property is one checkable claim about a completed run — properties as

@@ -20,7 +20,11 @@ import (
 // reversal. A race whose initials intersect the node's explored
 // alternatives, pending wakeup heads, or sleep set needs no new run at all;
 // otherwise the full wakeup sequence is queued and the next run is *forced*
-// into the reversal rather than left to wander. Classic DPOR's conservative
+// into the reversal rather than left to wander. Under non-empty flip
+// schedules the window is flip-anchored first (wakeup.go): steps whose
+// history queries would cross an output flip on the leftward shift are
+// excluded from the sequence, so forced runs replay deterministically even
+// while the detector environment is still changing its mind. Classic DPOR's conservative
 // "add every enabled process" fallback disappears entirely — in this
 // simulator enabledness is monotone (crashes fire at absolute times,
 // returning is forever), so the racing process is always enabled at the
@@ -71,6 +75,14 @@ type srcSearch struct {
 	stepClk []vclock
 	stepSC  []int32
 	scratch []raceStep
+	// keep/drops are anchorWindow's scratch partitions of the notdep window;
+	// seam is the analyzed run's query seam and hasFlips whether any of its
+	// registered histories flips at all — when false, flip anchoring is a
+	// no-op and raceReversal skips it.
+	keep     []raceStep
+	drops    []raceStep
+	seam     *sim.QuerySeam
+	hasFlips bool
 
 	// joins is the state-hash cache; nil when hashing is off. horizon is the
 	// probe depth (Config.MaxDepth), 0 when hashing is off.
@@ -97,7 +109,37 @@ func (e *explorer) sourceConfig(pattern sim.Pattern, oracle OracleChoice) *srcSe
 		s.joins = newJoinCache(e.cfg.MaxStates)
 		s.log.EnableDigest()
 	}
+	// The join probe fires once per run, when the step count reaches the
+	// horizon: on a cache hit the run stops there and reuses the cached tail;
+	// on a miss the completed run's tail is inserted under the probed key.
+	// The closure (and the per-run probe state it captures) is built once for
+	// the whole configuration — it sits on the per-run hot path.
 	var prefix []sim.PID
+	var rec *dporRecord
+	var hit *joinEntry
+	var probeKey joinKey
+	var probed bool
+	var stop func(sim.Time, *sim.QuerySeam) bool
+	if s.horizon > 0 {
+		stop = func(t sim.Time, seam *sim.QuerySeam) bool {
+			if int(t) != s.horizon || probed {
+				return false
+			}
+			probed = true
+			probeKey = joinKey{digest: s.log.StateDigest(), rr: -1}
+			if s.horizon > len(prefix) {
+				probeKey.rr = int16(rec.granted[s.horizon-1])
+			} else if len(prefix) > s.horizon {
+				// The forced prefix extends past the horizon: those steps
+				// have not executed yet, so two runs may join only when
+				// they agree on the pending suffix too.
+				probeKey.pending = pidSeqFP(prefix[s.horizon:])
+			}
+			probeKey.env = seam.OutputsDigest(t)
+			hit = s.joins.get(probeKey)
+			return hit != nil
+		}
+	}
 	for {
 		if e.stopped() {
 			return s
@@ -106,37 +148,14 @@ func (e *explorer) sourceConfig(pattern sim.Pattern, oracle OracleChoice) *srcSe
 			s.truncated = true
 			return s
 		}
-		rec := &dporRecord{}
+		rec = &dporRecord{}
 		sched := rec.schedule(prefix)
 		s.log.Reset()
-
-		// The join probe fires once, when the run's step count reaches the
-		// horizon: on a cache hit the run stops there and reuses the cached
-		// tail; on a miss the completed run's tail is inserted under the
-		// probed key.
-		var hit *joinEntry
-		var probeKey joinKey
-		probed := false
-		var stop func(sim.Time, *sim.QuerySeam) bool
-		if s.horizon > 0 {
-			stop = func(t sim.Time, seam *sim.QuerySeam) bool {
-				if int(t) != s.horizon || probed {
-					return false
-				}
-				probed = true
-				probeKey = joinKey{digest: s.log.StateDigest(), rr: -1}
-				if s.horizon > len(prefix) {
-					probeKey.rr = int16(rec.granted[s.horizon-1])
-				}
-				if seam != nil {
-					probeKey.flips = int32(seam.FlipsRemaining(t))
-				}
-				hit = s.joins.get(probeKey)
-				return hit != nil
-			}
-		}
+		hit, probed = nil, false
 
 		run := execute(e.cfg.System, pattern, oracle, sched, e.cfg.Budget, s.log, stop)
+		s.seam = run.seam
+		s.hasFlips = s.seam.FlipsRemaining(0) > 0
 		s.runs++
 		e.runs.Add(1)
 		if hit != nil {
@@ -170,8 +189,9 @@ func (e *explorer) sourceConfig(pattern sim.Pattern, oracle OracleChoice) *srcSe
 			// A forced prefix can only diverge if re-execution is not
 			// deterministic — a broken system, not a property of the run.
 			// Wakeup tails cannot diverge either: their steps left-shift to
-			// earlier times, enabledness is monotone, and under flip
-			// schedules the engine degrades to single-step insertion.
+			// earlier times, enabledness is monotone, and flip anchoring
+			// (wakeup.go) admits a querying step into a forced sequence only
+			// when the shift crosses no output flip.
 			panic(fmt.Sprintf("explore: source-DPOR prefix diverged on %s under %s, %s (non-deterministic system?)",
 				e.cfg.System.Name(), patternLabel(pattern), oracle.Name))
 		}
@@ -323,14 +343,32 @@ func (s *srcSearch) obj(id sim.ObjID) *objAccess {
 // scB identify step b's process and step count): it builds the wakeup
 // sequence v·p of the reversal and queues it at node b, unless an initial of
 // the sequence shows the reversal is already covered there.
+//
+// Under flip schedules the window is first refined by anchorWindow
+// (wakeup.go): steps whose history reads would cross an output flip on the
+// leftward shift — and their dependents — are dropped, so the forced
+// sequence replays every kept step's recorded behavior. When step c itself
+// survives the refinement the full sequence is queued exactly as in the
+// stable case; when it does not, the engine falls back to the pre-PR-10
+// single-initial insertion, gated on the unanchored window's initials.
 func (s *srcSearch) raceReversal(b, c int, p sim.PID, procB int, scB int32) {
 	if b >= len(s.stack) {
 		return // beyond MaxDepth: not a choice point
 	}
 	nd := &s.stack[b]
 	s.scratch = s.notDepWindow(s.scratch[:0], b, c, procB, scB)
+	win := s.scratch
 	_, accC := s.log.Step(c)
-	v := append(s.scratch, raceStep{p: p, acc: accC})
+	stepC := raceStep{p: p, acc: accC, t: sim.Time(c + 1)}
+	okC := true
+	if s.hasFlips {
+		var kept []raceStep
+		kept, okC = s.anchorWindow(win, b, p, accC, stepC.t)
+		if okC {
+			win = kept
+		}
+	}
+	v := append(win, stepC)
 	ini := initials(v)
 	// Source-set gate: an initial already explored (or queued, or slept) at
 	// node b covers the reversal — its subtree contains a linearization of
@@ -350,7 +388,7 @@ func (s *srcSearch) raceReversal(b, c int, p sim.PID, procB int, scB int32) {
 		}
 	}
 	var seq []sim.PID
-	if len(s.oracle.Flips) == 0 {
+	if okC {
 		// Full wakeup sequence: force the next run straight into the
 		// reversal.
 		seq = make([]sim.PID, 0, len(v))
@@ -358,10 +396,10 @@ func (s *srcSearch) raceReversal(b, c int, p sim.PID, procB int, scB int32) {
 			seq = append(seq, e.p)
 		}
 	} else {
-		// Unstable histories pin output flips to absolute times, so
-		// left-shifting a querying step across a flip boundary could change
-		// its observation and diverge the forced run; degrade to a bare
-		// single-initial insertion (still gated on the source set above).
+		// Step c cannot replay at its shifted position (its own query would
+		// cross a flip, or it depends on a flip-pinned window step): degrade
+		// to a bare single-initial insertion (still gated on the source set
+		// above).
 		q := p
 		if !ini.Has(p) {
 			q = ini.Min()

@@ -92,12 +92,62 @@ func TestSourceVsClassicDifferential(t *testing.T) {
 			classicRuns, sourceRuns, hashRuns, joined)
 	})
 
+	t.Run("budget1", func(t *testing.T) {
+		// Switch-budget-1 sweeps of the clean protocol: the regime the
+		// flip-anchored wakeup sequences (wakeup.go) were built for. All
+		// three engines must agree the protocol is clean, and the source
+		// engine must beat classic *strictly* — before flip anchoring it
+		// degraded to single-initial insertion here and the margin collapsed.
+		for _, n := range []int{2, 3} {
+			cfg := Config{
+				System:       Fig1System(n),
+				SwitchBudget: 1,
+				CrashTimes:   []sim.Time{0},
+				MaxDepth:     12,
+				Budget:       2048,
+			}
+			cfg.Engine = EngineDPOR
+			c := Explore(cfg)
+			cfg.Engine = EngineSource
+			cfg.NoHash = true
+			s := Explore(cfg)
+			cfg.NoHash = false
+			h := Explore(cfg)
+			for _, r := range []*Result{c, s, h} {
+				if len(r.Violations) != 0 {
+					t.Errorf("n=%d: engine %s found violations on the clean protocol: %v", n, r.Engine, r.Violations)
+				}
+				if r.Truncated {
+					t.Errorf("n=%d: engine %s truncated", n, r.Engine)
+				}
+			}
+			if c.Configs != s.Configs || c.Configs != h.Configs {
+				t.Errorf("n=%d: engines explored different config counts: %d vs %d vs %d", n, c.Configs, s.Configs, h.Configs)
+			}
+			if s.Runs >= c.Runs {
+				t.Errorf("n=%d: source executed %d runs, not strictly fewer than classic's %d", n, s.Runs, c.Runs)
+			}
+			if h.Runs >= c.Runs {
+				t.Errorf("n=%d: source+hash executed %d runs, not strictly fewer than classic's %d", n, h.Runs, c.Runs)
+			}
+			// A sound join key never changes the search, only who executes
+			// each tail: the hash variant must visit exactly the pure-source
+			// schedules. (The pre-PR-10 key conflated runs whose forced
+			// prefixes extended past the horizon and merged real schedules.)
+			if h.Runs != s.Runs {
+				t.Errorf("n=%d: source+hash executed %d runs vs pure source's %d; the join key is altering the search", n, h.Runs, s.Runs)
+			}
+			t.Logf("n=%d switch-budget 1: classic %d runs vs source %d (%d pruned) vs source+hash %d (%d joined)",
+				n, c.Runs, s.Runs, s.Pruned, h.Runs, h.Joined)
+		}
+	})
+
 	t.Run("mutants", func(t *testing.T) {
 		// Three zoo mutants covering the engine's regimes: a pure scheduling
-		// race (full wakeup sequences), a flip-schedule kill (the degraded
-		// single-initial insertion path), and a flips-plus-joins extraction
-		// kill (MaxDepth 1 < Budget keeps the hash layer active on a
-		// violating sweep — joins must not eat violations).
+		// race (full wakeup sequences), a flip-schedule kill (flip-anchored
+		// wakeup sequences under an unstable history), and a flips-plus-joins
+		// extraction kill (MaxDepth 1 < Budget keeps the hash layer active on
+		// a violating sweep — joins must not eat violations).
 		cases := []struct {
 			name string
 			cfg  Config

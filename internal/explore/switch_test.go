@@ -379,3 +379,23 @@ func TestFlipVariantsEnumeration(t *testing.T) {
 		}
 	}
 }
+
+// TestFlipVariantsAllocBound pins the enumeration's allocation discipline:
+// the recursion backtracks through one shared phase buffer, so the per-call
+// prefix cloning is gone and what remains is per *emitted* variant — the
+// owned phase copy and its rendered name — plus slice growth. The bound is
+// deliberately loose (the name rendering costs a handful of allocations per
+// variant); the regression it guards against is allocation proportional to
+// the much larger interior-node count of the recursion tree.
+func TestFlipVariantsAllocBound(t *testing.T) {
+	base := []OracleChoice{{Name: "U={p1}", Stable: sim.SetOf(0)}}
+	domain := []sim.Set{sim.SetOf(0), sim.SetOf(1), sim.SetOf(0, 1), sim.SetOf(2)}
+	plan := SwitchPlan{Budget: 3, Times: []sim.Time{2, 5, 8, 11}}
+	variants := len(flipVariants(base, domain, plan))
+	allocs := testing.AllocsPerRun(10, func() {
+		flipVariants(base, domain, plan)
+	})
+	if limit := float64(16*variants + 32); allocs > limit {
+		t.Fatalf("flipVariants allocated %.0f objects for %d variants; want <= %.0f (16/variant + 32)", allocs, variants, limit)
+	}
+}

@@ -19,25 +19,42 @@ import "weakestfd/internal/sim"
 // executions; the lost-update toy drops from 6 executed interleavings to its
 // 4 Mazurkiewicz classes.
 //
-// Executability: every process's steps appear in v in program order (notdep
+// Executability. Every process's steps appear in v in program order (notdep
 // is program-order closed — a later step of a process happens-after its
 // earlier ones), steps in v observe no dropped write (a read of a dropped
 // write would make the reader dependent on step b too), and enabledness is
 // monotone under left shifts (crash times are absolute, so a process alive
-// at a later time is alive earlier; returned/halted is forever). A forced
-// wakeup prefix therefore never diverges — with one exception, pre-checked
-// by the engine: histories with pre-stabilization flips pin output switches
-// to *absolute* times, so left-shifting a querying step can move it across a
-// flip boundary and change its observation. Under flip schedules the engine
-// degrades to bare source-set insertion (a single initial, one step), which
-// stays sound and still gates on the covered set.
+// at a later time is alive earlier; returned/halted is forever).
+//
+// Histories with pre-stabilization flips add one more obligation, because a
+// flip is pinned to an *absolute* global time while the reversal shifts
+// every window step leftward. The dependency rule, applied by anchorWindow:
+//
+//	a step that reads a history object depends on every flip of that
+//	object whose absolute time lies strictly between the step's shifted
+//	position and its current position (lo < flip time <= hi) — crossing
+//	such a flip would change what the step's query observes, so the pair
+//	does not commute and the step cannot join the wakeup sequence.
+//
+// Dropping a flip-pinned step breaks the transitivity the clock test
+// provides for happens-after-b drops (a flip-pinned step does *not*
+// happen-after b), so anchorWindow also drops every later window step that
+// depends on a dropped one — same process (program order) or conflicting
+// access set — and step c itself must pass both checks before the full
+// sequence v·p may be forced. When c fails them, the engine falls back to
+// the bare single-initial insertion (classic DPOR's per-race insertion,
+// gated on the unanchored window's initials exactly as before PR 10); with
+// no flips in the configuration the anchored window is the notdep window
+// verbatim and the stable-history search is unchanged, run for run.
 
 // raceStep is one entry of a wakeup sequence under construction: a step's
-// process and access set (aliasing the run's access log; consumed before the
-// next run resets it).
+// process, access set (aliasing the run's access log; consumed before the
+// next run resets it), and the global time it executed at in the analyzed
+// run (step index i runs at time i+1).
 type raceStep struct {
 	p   sim.PID
 	acc []sim.Access
+	t   sim.Time
 }
 
 // notDepWindow appends to dst the steps of (b, c) (exclusive) that do not
@@ -51,9 +68,68 @@ func (s *srcSearch) notDepWindow(dst []raceStep, b, c int, procB int, scB int32)
 			continue
 		}
 		p, acc := s.log.Step(k)
-		dst = append(dst, raceStep{p: p, acc: acc})
+		dst = append(dst, raceStep{p: p, acc: acc, t: sim.Time(k + 1)})
 	}
 	return dst
+}
+
+// anchorWindow refines the clock-based notdep window win of a race at step b
+// for flip-time-anchored histories: window steps are kept in order, each
+// checked at the position it would occupy in the forced reversal (the j-th
+// kept step executes at time b+j+1), and dropped when a history read would
+// cross a flip on the way there or when the step depends on an
+// already-dropped one (same process or conflicting accesses — the explicit
+// transitive closure the clock test cannot provide for flip drops). It
+// returns the kept steps (backed by s.keep) and whether step c itself —
+// accC at original time cTime, process pC, shifted to the slot after the
+// kept steps — still replays its recorded behavior there. A nil seam (or a
+// flip-free one) keeps everything and always clears c.
+func (s *srcSearch) anchorWindow(win []raceStep, b int, pC sim.PID, accC []sim.Access, cTime sim.Time) (kept []raceStep, okC bool) {
+	kept = s.keep[:0]
+	dropped := s.drops[:0]
+	for _, e := range win {
+		if dependsOnDropped(e.p, e.acc, dropped) ||
+			s.flipCrossedReads(e.acc, sim.Time(b+len(kept)+1), e.t) {
+			dropped = append(dropped, e)
+			continue
+		}
+		kept = append(kept, e)
+	}
+	s.keep, s.drops = kept, dropped
+	okC = !dependsOnDropped(pC, accC, dropped) &&
+		!s.flipCrossedReads(accC, sim.Time(b+len(kept)+1), cTime)
+	return kept, okC
+}
+
+// dependsOnDropped reports whether a step of process p with access set acc
+// depends on any dropped window step: an earlier step of the same process
+// (program order) or a conflicting access set. Such a step cannot precede
+// the dropped one in the forced reversal without changing behavior.
+func dependsOnDropped(p sim.PID, acc []sim.Access, dropped []raceStep) bool {
+	for i := range dropped {
+		if dropped[i].p == p || sim.AccessesConflict(dropped[i].acc, acc) {
+			return true
+		}
+	}
+	return false
+}
+
+// flipCrossedReads reports whether moving a step with access set acc from
+// time hi to the earlier time lo would carry one of its history reads across
+// an output flip (the anchorWindow dependency rule). Writes of history
+// objects in acc are the environment's own flip writes charged to the step's
+// span — they stay pinned to their absolute time in any schedule and do not
+// constrain the step.
+func (s *srcSearch) flipCrossedReads(acc []sim.Access, lo, hi sim.Time) bool {
+	if s.seam == nil || lo >= hi {
+		return false
+	}
+	for _, a := range acc {
+		if a.Kind == sim.AccessRead && s.seam.FlipCrossed(a.Obj, lo, hi) {
+			return true
+		}
+	}
+	return false
 }
 
 // initials returns the processes with an event in seq that has no

@@ -65,6 +65,15 @@ type AccessLog struct {
 	buf   []Access
 	spans []stepSpan
 	start int32
+	// envEnd marks the end of the current step's environment-access prefix
+	// (see SealEnv): accesses in [start, envEnd) were recorded by the
+	// environment — detector flip writes and boundary-guard reads the query
+	// seam charges to whichever step runs at the flip's absolute time. They
+	// participate in the step's span (and hence in conflict detection) but
+	// are excluded from the per-process observation hash: the machine never
+	// sees them, so two runs whose schedules merely charge the same flip to
+	// different bystander steps must still digest equally.
+	envEnd int32
 
 	// State-digest support (EnableDigest): the incremental machinery behind
 	// StateDigest, maintained only when digestOn — the plain recording path
@@ -225,6 +234,20 @@ func (l *AccessLog) BeginStep() {
 		return
 	}
 	l.start = int32(len(l.buf))
+	l.envEnd = l.start
+}
+
+// SealEnv marks every access recorded since BeginStep as an environment
+// access — charged to the step's span for conflict purposes, but not part of
+// the stepping process's own observation sequence. The query seam calls it
+// after recording a step's flip writes and boundary-guard reads, immediately
+// before the machine step runs; EndStep then folds only the machine's own
+// accesses into the process observation hash. Nil-safe no-op.
+func (l *AccessLog) SealEnv() {
+	if l == nil {
+		return
+	}
+	l.envEnd = int32(len(l.buf))
 }
 
 // EndStep closes the current step span, attributing its accesses to p; the
@@ -240,7 +263,9 @@ func (l *AccessLog) EndStep(p PID) {
 			l.procH = append(l.procH, 0)
 		}
 		h := l.procH[p]
-		for i := l.start; i < int32(len(l.buf)); i++ {
+		// Skip the environment-access prefix (SealEnv): flip writes and guard
+		// reads are charged to the span but are not p's observations.
+		for i := l.envEnd; i < int32(len(l.buf)); i++ {
 			a := l.buf[i]
 			h = fpMix(h, fpMix(uint64(a.Obj)<<1|uint64(a.Kind), l.fps[i]))
 		}
@@ -259,6 +284,7 @@ func (l *AccessLog) Reset() {
 	l.buf = l.buf[:0]
 	l.spans = l.spans[:0]
 	l.start = 0
+	l.envEnd = 0
 	if l.digestOn {
 		for i := range l.objFP {
 			l.objFP[i] = 0

@@ -130,13 +130,19 @@ func (q *QuerySeam) OnStep(t Time) {
 			}
 		}
 	}
+	// The accesses above are the environment's, charged to whichever step
+	// happens to run at the flip's absolute time: seal them out of the
+	// stepping process's observation hash so state digests do not depend on
+	// which bystander was standing next to a flip.
+	q.log.SealEnv()
 }
 
 // FlipsRemaining counts, over every registered history, the output switches
-// still ahead of time t — the flips-remaining index the explorer's
-// state-hash join folds into its keys, so states that agree on shared
-// memory but differ in how much environment scheduling is still pending are
-// never identified. Nil-safe (0).
+// still ahead of time t. The explorer's state-hash join used to fold this
+// count into its keys; OutputsDigest — which additionally pins *what* each
+// pending flip switches to and what is observable now — subsumes it there,
+// and the count remains as the cheap summary for reporting and tests.
+// Nil-safe (0).
 func (q *QuerySeam) FlipsRemaining(t Time) int {
 	if q == nil {
 		return 0
@@ -150,6 +156,58 @@ func (q *QuerySeam) FlipsRemaining(t Time) int {
 		}
 	}
 	return n
+}
+
+// FlipCrossed reports whether object id is a registered history with an
+// output switch at any absolute time ft with lo < ft <= hi. This is the
+// flip-anchoring relation the source engine's wakeup-sequence construction
+// depends on: a step that queries the history at time hi observes the value
+// after every flip <= hi, so moving the step leftward to time lo preserves
+// its observation exactly when no flip lies in (lo, hi]. Objects that are
+// not registered histories never cross (false). Nil-safe (false).
+func (q *QuerySeam) FlipCrossed(id ObjID, lo, hi Time) bool {
+	if q == nil || lo >= hi {
+		return false
+	}
+	for i := range q.hists {
+		s := &q.hists[i]
+		if s.id != id {
+			continue
+		}
+		for _, ft := range s.flips {
+			if ft > lo && ft <= hi {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// OutputsDigest fingerprints the live detector environment at time t: for
+// every registered history, the output a query at t would observe, plus the
+// full schedule of still-pending flips — each remaining flip time with the
+// output it switches to. The explorer's state-hash join folds it into its
+// keys, so two prefixes are identified only when every history they can
+// query agrees on its current observable output *and* on everything the
+// environment will still do to it. Allocation-free for the fingerprintable
+// output types detector ranges use (sets, ints). Nil-safe (0).
+func (q *QuerySeam) OutputsDigest(t Time) uint64 {
+	if q == nil {
+		return 0
+	}
+	var h uint64
+	for i := range q.hists {
+		s := &q.hists[i]
+		//lint:fdlint seamcheck -- the seam fingerprinting its own history objects' outputs for the join key; this evaluation is the instrumentation, not an unrecorded detector read
+		h = fpMix(h, fpMix(uint64(s.id), StateFP(s.h.Value(0, t))))
+		for _, ft := range s.flips {
+			if ft > t {
+				//lint:fdlint seamcheck -- pending-flip outputs folded into the same environment fingerprint
+				h = fpMix(h, fpMix(uint64(ft), StateFP(s.h.Value(0, ft))))
+			}
+		}
+	}
+	return h
 }
 
 // Query evaluates oracle h at (p, t), recording the query as a read of h's
